@@ -1,0 +1,81 @@
+// Command phrdemo runs the Section 5 PHR disclosure scenario at workload
+// scale: a synthetic patient population, per-category proxies, grants, a
+// request mix, and a final compromise drill — printing service statistics
+// a deployment operator would care about.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"typepre/internal/phr"
+)
+
+var (
+	patients = flag.Int("patients", 5, "number of patients")
+	records  = flag.Int("records", 6, "records per patient")
+	grants   = flag.Int("grants", 3, "grants per patient")
+	body     = flag.Int("body", 512, "record body size in bytes")
+)
+
+func main() {
+	flag.Parse()
+
+	cfg := phr.DefaultWorkload()
+	cfg.Patients = *patients
+	cfg.RecordsPerPatient = *records
+	cfg.GrantsPerPatient = *grants
+	cfg.BodySize = *body
+	cfg.Categories = phr.StandardCategories()
+	cfg.Requesters = 4
+
+	start := time.Now()
+	w, err := phr.GenerateWorkload(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployment: %d patients, %d records, %d grants, %d category proxies (%.1fs setup)\n",
+		len(w.Patients), w.Service.Store.Count(), len(w.Grants),
+		len(w.Service.Proxies()), time.Since(start).Seconds())
+
+	// Serve every grant once: each granted requester bulk-reads their
+	// category.
+	served, bytesOut := 0, 0
+	reqStart := time.Now()
+	for _, g := range w.Grants {
+		bodies, err := w.Service.ReadCategory(g.PatientID, g.Category, w.Requesters[g.RequesterID])
+		if err != nil {
+			log.Fatalf("grant %+v unreadable: %v", g, err)
+		}
+		for _, b := range bodies {
+			served++
+			bytesOut += len(b)
+		}
+	}
+	elapsed := time.Since(reqStart)
+	fmt.Printf("served %d record disclosures (%d KiB) in %.2fs — %.1f disclosures/s\n",
+		served, bytesOut>>10, elapsed.Seconds(), float64(served)/elapsed.Seconds())
+
+	// Audit totals across proxies.
+	totalAudit, denials := 0, 0
+	for _, p := range w.Service.Proxies() {
+		totalAudit += p.Audit().Len()
+		denials += len(p.Audit().Denials())
+	}
+	fmt.Printf("audit: %d entries, %d denials\n", totalAudit, denials)
+
+	// Compromise drill: lose the emergency proxy.
+	proxy, err := w.Service.ProxyFor(phr.CategoryEmergency)
+	if err != nil {
+		log.Fatal(err)
+	}
+	typeRep := phr.SimulateTypePREBreach(w.Service.Store, []*phr.Proxy{proxy})
+	tradRep := phr.SimulateTraditionalPREBreach(w.Service.Store, []*phr.Proxy{proxy})
+	fmt.Printf("compromise drill (emergency proxy): type-PRE exposes %.1f%%, traditional would expose %.1f%%\n",
+		100*typeRep.Fraction(), 100*tradRep.Fraction())
+	expOK, isoOK := phr.VerifyTypePREBreach(w, []*phr.Proxy{proxy})
+	fmt.Printf("cryptographic verification of the drill: exposed-decryptable=%v isolated-unopenable=%v\n",
+		expOK, isoOK)
+}

@@ -1,0 +1,48 @@
+// Command phrserver runs the PHR disclosure service over HTTP: the
+// semi-trusted store plus one re-encryption proxy per category, exposed on
+// the API documented in internal/phr/httpapi.go. Patients upload sealed
+// records and install grants; clinicians fetch re-encrypted records they
+// decrypt locally. The server never holds a decryption key.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"typepre/internal/phr"
+)
+
+var (
+	addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+	categories = flag.String("categories", "", "comma-separated category list (default: standard PHR categories)")
+)
+
+func main() {
+	flag.Parse()
+
+	var cats []phr.Category
+	if *categories == "" {
+		cats = phr.StandardCategories()
+	} else {
+		for _, c := range strings.Split(*categories, ",") {
+			if c = strings.TrimSpace(c); c != "" {
+				cats = append(cats, phr.Category(c))
+			}
+		}
+	}
+	if len(cats) == 0 {
+		log.Fatal("phrserver: no categories configured")
+	}
+
+	svc := phr.NewService(cats)
+	fmt.Printf("phrserver: %d category proxies:\n", len(cats))
+	for _, c := range cats {
+		p, _ := svc.ProxyFor(c)
+		fmt.Printf("  %-20s served by %s\n", c, p.Name())
+	}
+	fmt.Printf("listening on http://%s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, phr.NewServer(svc)))
+}

@@ -1,0 +1,90 @@
+package typepre_test
+
+import (
+	"fmt"
+	"log"
+
+	"typepre"
+)
+
+// Example walks the full delegation lifecycle: two KGC domains, typed
+// encryption, a per-type proxy key, the proxy transformation, and the
+// delegatee's decryption with only their own key.
+func Example() {
+	kgc1, err := typepre.Setup("hospital-kgc", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kgc2, err := typepre.Setup("clinic-kgc", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	alice := typepre.NewDelegator(kgc1.Extract("alice@hospital.example"))
+	bobKey := kgc2.Extract("bob@clinic.example")
+
+	msg := []byte("blood type O−")
+	ct, err := typepre.EncryptBytes(alice, msg, "emergency", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rk, err := alice.Delegate(kgc2.Params(), "bob@clinic.example", "emergency", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rct, err := typepre.ReEncryptBytes(ct, rk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, err := typepre.DecryptBytesReEncrypted(bobKey, rct)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(got))
+	// Output: blood type O−
+}
+
+// ExampleReEncrypt shows that a proxy key is scoped to its type: the same
+// key cannot transform ciphertexts of another category.
+func ExampleReEncrypt() {
+	kgc, err := typepre.Setup("kgc", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alice := typepre.NewDelegator(kgc.Extract("alice@example.com"))
+
+	m, err := typepre.RandomMessage(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctWork, _ := alice.Encrypt(m, "work", nil)
+	ctPersonal, _ := alice.Encrypt(m, "personal", nil)
+	rkWork, _ := alice.Delegate(kgc.Params(), "assistant@example.com", "work", nil)
+
+	_, errWork := typepre.ReEncrypt(ctWork, rkWork)
+	_, errPersonal := typepre.ReEncrypt(ctPersonal, rkWork)
+	fmt.Println(errWork == nil, errPersonal == nil)
+	// Output: true false
+}
+
+// ExampleRecoverTypeKey demonstrates the §4.3 collusion bound: the proxy
+// and the delegatee together recover exactly the per-type key — it opens
+// the delegated type and nothing else.
+func ExampleRecoverTypeKey() {
+	kgc1, _ := typepre.Setup("kgc1", nil)
+	kgc2, _ := typepre.Setup("kgc2", nil)
+	alice := typepre.NewDelegator(kgc1.Extract("alice@example.com"))
+	bobKey := kgc2.Extract("bob@example.com")
+
+	rk, _ := alice.Delegate(kgc2.Params(), "bob@example.com", "emergency", nil)
+	tk, _ := typepre.RecoverTypeKey(rk, bobKey)
+
+	m, _ := typepre.RandomMessage(nil)
+	ctEmergency, _ := alice.Encrypt(m, "emergency", nil)
+	ctIllness, _ := alice.Encrypt(m, "illness-history", nil)
+
+	got1, _ := typepre.DecryptWithTypeKey(tk, ctEmergency)
+	got2, _ := typepre.DecryptWithTypeKey(tk, ctIllness)
+	fmt.Println(got1.Equal(m), got2.Equal(m))
+	// Output: true false
+}

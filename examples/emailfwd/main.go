@@ -1,0 +1,79 @@
+// Command emailfwd applies the scheme to the e-mail forwarding use case the
+// paper cites from the PRE literature (§1): while Alice is on vacation, her
+// mail server re-encrypts incoming mail to her assistant — but because
+// messages are typed, only the "work" folder is forwardable. Personal mail
+// stays sealed even though it sits on the same server behind the same key.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"typepre"
+)
+
+type email struct {
+	subject string
+	folder  typepre.Type
+	sealed  *typepre.HybridCiphertext
+}
+
+func main() {
+	corpKGC, err := typepre.Setup("corp-kgc", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alice := typepre.NewDelegator(corpKGC.Extract("alice@corp.example"))
+	assistantKey := corpKGC.Extract("assistant@corp.example")
+
+	// Alice's mailbox: a mix of work and personal mail, all sealed under
+	// her single key pair.
+	inbox := []struct {
+		subject, body string
+		folder        typepre.Type
+	}{
+		{"Q2 budget review", "the numbers we discussed...", "work"},
+		{"standup notes", "yesterday: shipped v1.2...", "work"},
+		{"dinner saturday?", "the usual place at 8?", "personal"},
+		{"lab results", "cholesterol slightly elevated", "medical"},
+	}
+	var mailbox []email
+	for _, m := range inbox {
+		sealed, err := typepre.EncryptBytes(alice, []byte(m.body), m.folder, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mailbox = append(mailbox, email{subject: m.subject, folder: m.folder, sealed: sealed})
+	}
+	fmt.Printf("mailbox: %d sealed messages\n", len(mailbox))
+
+	// Vacation: the mail server gets a rekey for the "work" folder only.
+	// Note both parties are in the SAME domain here — the scheme supports
+	// that too (KGC1 = KGC2).
+	rkWork, err := alice.Delegate(corpKGC.Params(), "assistant@corp.example", "work", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The server (proxy) walks the mailbox and forwards what it can.
+	forwarded, refused := 0, 0
+	for _, m := range mailbox {
+		rct, err := typepre.ReEncryptBytes(m.sealed, rkWork)
+		if err != nil {
+			refused++
+			fmt.Printf("  [%s] %q NOT forwarded (%v)\n", m.folder, m.subject, err)
+			continue
+		}
+		body, err := typepre.DecryptBytesReEncrypted(assistantKey, rct)
+		if err != nil {
+			log.Fatal(err)
+		}
+		forwarded++
+		fmt.Printf("  [%s] %q forwarded; assistant reads %d bytes\n", m.folder, m.subject, len(body))
+	}
+	fmt.Printf("forwarded %d, refused %d — the server never saw a plaintext\n", forwarded, refused)
+
+	// After vacation Alice simply stops the server from using the rekey;
+	// nothing about her own key pair changes, and the personal and medical
+	// folders were never convertible in the first place.
+}

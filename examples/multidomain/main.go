@@ -1,0 +1,93 @@
+// Command multidomain demonstrates the paper's cross-domain setting: the
+// delegator is registered at KGC1 and the delegatee at an unrelated KGC2
+// (they share only the curve parameters), and every artifact crosses the
+// "wire" in serialized form — exactly what a real deployment between two
+// organizations would ship.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"typepre"
+)
+
+// wire simulates an untrusted channel carrying only byte slices.
+type wire map[string][]byte
+
+func main() {
+	w := wire{}
+
+	// --- Domain 1: the hospital -------------------------------------
+	kgc1, err := typepre.Setup("hospital-kgc", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alice := typepre.NewDelegator(kgc1.Extract("alice@hospital.example"))
+
+	// --- Domain 2: the insurance company, a different KGC -----------
+	kgc2, err := typepre.Setup("insurer-kgc", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	auditorKey := kgc2.Extract("auditor@insurer.example")
+	// The insurer publishes its parameters; the hospital imports them.
+	w["insurer-params"] = kgc2.Params().Marshal()
+
+	// --- Hospital side: encrypt and delegate ------------------------
+	insurerParams, err := typepre.UnmarshalParams(w["insurer-params"])
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := typepre.RandomMessage(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ct, err := alice.Encrypt(m, "billing", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rk, err := alice.Delegate(insurerParams, "auditor@insurer.example", "billing", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w["ciphertext"] = ct.Marshal()
+	w["rekey"] = rk.Marshal()
+	fmt.Printf("hospital shipped ciphertext (%d B) and rekey (%d B)\n",
+		len(w["ciphertext"]), len(w["rekey"]))
+
+	// --- Proxy (anywhere): transform serialized artifacts -----------
+	proxyCT, err := typepre.UnmarshalCiphertext(w["ciphertext"])
+	if err != nil {
+		log.Fatal(err)
+	}
+	proxyRK, err := typepre.UnmarshalReKey(w["rekey"])
+	if err != nil {
+		log.Fatal(err)
+	}
+	rct, err := typepre.ReEncrypt(proxyCT, proxyRK)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w["reciphertext"] = rct.Marshal()
+	fmt.Printf("proxy transformed for %s (reciphertext: %d B)\n",
+		proxyRK.DelegateeID, len(w["reciphertext"]))
+
+	// --- Insurer side: decrypt with its own domain key ---------------
+	auditorRCT, err := typepre.UnmarshalReCiphertext(w["reciphertext"])
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, err := typepre.DecryptReEncrypted(auditorKey, auditorRCT)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("auditor decrypted successfully: %v\n", got.Equal(m))
+
+	// Tampered wire data is rejected at decode time, not at decrypt time.
+	bad := append([]byte(nil), w["ciphertext"]...)
+	bad[0] ^= 0xff
+	if _, err := typepre.UnmarshalCiphertext(bad); err != nil {
+		fmt.Printf("tampered ciphertext rejected: %v\n", err)
+	}
+}

@@ -1,0 +1,71 @@
+// Command quickstart is the smallest end-to-end use of the typepre public
+// API: one delegator, one delegatee, one type, one proxy hop.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"typepre"
+)
+
+func main() {
+	// Two trust domains: Alice's hospital and Bob's clinic each run a KGC.
+	kgc1, err := typepre.Setup("hospital-kgc", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kgc2, err := typepre.Setup("clinic-kgc", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Alice gets ONE key pair for everything she will ever delegate.
+	alice := typepre.NewDelegator(kgc1.Extract("alice@hospital.example"))
+	bobKey := kgc2.Extract("bob@clinic.example")
+
+	// Alice seals a record under the "emergency" type.
+	msg := []byte("blood type O−; allergic to penicillin")
+	ct, err := typepre.EncryptBytes(alice, msg, "emergency", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sealed %d-byte record under type %q\n", len(msg), ct.KEM.Type)
+
+	// Alice can always read her own data.
+	own, err := typepre.DecryptBytes(alice, ct)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("owner reads back: %q\n", own)
+
+	// Alice hands the proxy a re-encryption key scoped to ONE type.
+	rk, err := alice.Delegate(kgc2.Params(), "bob@clinic.example", "emergency", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delegated type %q to %s (rekey: %d bytes)\n",
+		rk.Type, rk.DelegateeID, len(rk.Marshal()))
+
+	// The proxy transforms the ciphertext without seeing the plaintext.
+	rct, err := typepre.ReEncryptBytes(ct, rk)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Bob decrypts with only his own clinic-issued key.
+	got, err := typepre.DecryptBytesReEncrypted(bobKey, rct)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delegatee reads: %q\n", got)
+
+	// A key for one type cannot touch another type.
+	other, err := typepre.EncryptBytes(alice, []byte("lunch: soup"), "food-statistics", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := typepre.ReEncryptBytes(other, rk); err != nil {
+		fmt.Printf("cross-type re-encryption correctly refused: %v\n", err)
+	}
+}

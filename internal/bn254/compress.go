@@ -1,0 +1,152 @@
+package bn254
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Compressed point encodings: x-coordinate plus a one-byte header carrying
+// the point-at-infinity flag and the sign of y. They cut G1 points from 64
+// to 33 bytes and G2 points from 128 to 65 — the wire-format trade-off the
+// E3 size table quantifies (decompression costs one field square root).
+
+// Header byte values.
+const (
+	compressedEven     = 0x02 // y is not lexicographically larger than −y
+	compressedOdd      = 0x03 // y is lexicographically larger than −y
+	compressedInfinity = 0x00
+)
+
+// G1CompressedSize is the compressed G1 encoding length in bytes.
+const G1CompressedSize = 1 + g1ElementSize
+
+// MarshalCompressed encodes p as a 33-byte compressed point.
+func (p *G1) MarshalCompressed() []byte {
+	out := make([]byte, G1CompressedSize)
+	if p.inf {
+		out[0] = compressedInfinity
+		return out
+	}
+	if fpLexLarger(&p.y) {
+		out[0] = compressedOdd
+	} else {
+		out[0] = compressedEven
+	}
+	p.x.FillBytes(out[1:])
+	return out
+}
+
+// UnmarshalCompressed decodes a compressed G1 point, recomputing y by a
+// square root and validating the curve equation.
+func (p *G1) UnmarshalCompressed(data []byte) error {
+	if len(data) != G1CompressedSize {
+		return fmt.Errorf("bn254: invalid compressed G1 length %d", len(data))
+	}
+	switch data[0] {
+	case compressedInfinity:
+		for _, b := range data[1:] {
+			if b != 0 {
+				return errors.New("bn254: non-zero x with infinity flag")
+			}
+		}
+		p.inf = true
+		p.x.SetInt64(0)
+		p.y.SetInt64(0)
+		return nil
+	case compressedEven, compressedOdd:
+	default:
+		return fmt.Errorf("bn254: invalid compression header 0x%02x", data[0])
+	}
+	x := new(big.Int).SetBytes(data[1:])
+	if x.Cmp(P) >= 0 {
+		return errors.New("bn254: compressed G1 x out of range")
+	}
+	// y² = x³ + 3
+	y2 := new(big.Int).Mul(x, x)
+	y2.Mul(y2, x)
+	y2.Add(y2, curveB)
+	y2.Mod(y2, P)
+	y, ok := fpSqrt(y2)
+	if !ok {
+		return errors.New("bn254: compressed G1 x not on curve")
+	}
+	if fpLexLarger(y) != (data[0] == compressedOdd) {
+		y.Sub(P, y)
+		y.Mod(y, P)
+	}
+	p.x.Set(x)
+	p.y.Set(y)
+	p.inf = false
+	return nil
+}
+
+// G2CompressedSize is the compressed G2 encoding length in bytes.
+const G2CompressedSize = 1 + 2*g1ElementSize
+
+// MarshalCompressed encodes p as a 65-byte compressed point
+// (header ‖ x.c0 ‖ x.c1).
+func (p *G2) MarshalCompressed() []byte {
+	out := make([]byte, G2CompressedSize)
+	if p.inf {
+		out[0] = compressedInfinity
+		return out
+	}
+	if p.y.lexLarger() {
+		out[0] = compressedOdd
+	} else {
+		out[0] = compressedEven
+	}
+	p.x.c0.FillBytes(out[1 : 1+32])
+	p.x.c1.FillBytes(out[1+32:])
+	return out
+}
+
+// UnmarshalCompressed decodes a compressed G2 point, recomputing y via an
+// Fp2 square root and validating both the twist equation and order-r
+// subgroup membership.
+func (p *G2) UnmarshalCompressed(data []byte) error {
+	if len(data) != G2CompressedSize {
+		return fmt.Errorf("bn254: invalid compressed G2 length %d", len(data))
+	}
+	switch data[0] {
+	case compressedInfinity:
+		for _, b := range data[1:] {
+			if b != 0 {
+				return errors.New("bn254: non-zero x with infinity flag")
+			}
+		}
+		p.inf = true
+		p.x.SetZero()
+		p.y.SetZero()
+		return nil
+	case compressedEven, compressedOdd:
+	default:
+		return fmt.Errorf("bn254: invalid compression header 0x%02x", data[0])
+	}
+	var x fp2
+	x.c0.SetBytes(data[1 : 1+32])
+	x.c1.SetBytes(data[1+32:])
+	if x.c0.Cmp(P) >= 0 || x.c1.Cmp(P) >= 0 {
+		return errors.New("bn254: compressed G2 x out of range")
+	}
+	// y² = x³ + b'
+	var y2 fp2
+	y2.Square(&x)
+	y2.Mul(&y2, &x)
+	y2.Add(&y2, &twistB)
+	var y fp2
+	if !y.Sqrt(&y2) {
+		return errors.New("bn254: compressed G2 x not on twist")
+	}
+	if y.lexLarger() != (data[0] == compressedOdd) {
+		y.Neg(&y)
+	}
+	p.x.Set(&x)
+	p.y.Set(&y)
+	p.inf = false
+	if !p.IsInSubgroup() {
+		return errors.New("bn254: compressed G2 point not in order-r subgroup")
+	}
+	return nil
+}

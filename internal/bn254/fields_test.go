@@ -1,0 +1,309 @@
+package bn254
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randFp returns a random base-field element.
+func randFp(r *rand.Rand) *big.Int {
+	return new(big.Int).Rand(r, P)
+}
+
+func randFp2(r *rand.Rand) *fp2 {
+	var e fp2
+	e.c0.Set(randFp(r))
+	e.c1.Set(randFp(r))
+	return &e
+}
+
+func randFp6(r *rand.Rand) *fp6 {
+	var e fp6
+	e.c0.Set(randFp2(r))
+	e.c1.Set(randFp2(r))
+	e.c2.Set(randFp2(r))
+	return &e
+}
+
+func randFp12(r *rand.Rand) *fp12 {
+	var e fp12
+	e.c0.Set(randFp6(r))
+	e.c1.Set(randFp6(r))
+	return &e
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(42))}
+}
+
+func TestFp2MulCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randFp2(r), randFp2(r)
+		var ab, ba fp2
+		ab.Mul(a, b)
+		ba.Mul(b, a)
+		return ab.Equal(&ba)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFp2MulAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randFp2(r), randFp2(r), randFp2(r)
+		var l, rr fp2
+		l.Mul(a, b)
+		l.Mul(&l, c)
+		rr.Mul(b, c)
+		rr.Mul(a, &rr)
+		return l.Equal(&rr)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFp2Distributive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randFp2(r), randFp2(r), randFp2(r)
+		var l, r1, r2 fp2
+		l.Add(b, c)
+		l.Mul(a, &l)
+		r1.Mul(a, b)
+		r2.Mul(a, c)
+		r1.Add(&r1, &r2)
+		return l.Equal(&r1)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFp2SquareMatchesMul(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randFp2(r)
+		var sq, mul fp2
+		sq.Square(a)
+		mul.Mul(a, a)
+		return sq.Equal(&mul)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFp2Inverse(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randFp2(r)
+		if a.IsZero() {
+			return true
+		}
+		var inv, prod fp2
+		inv.Inverse(a)
+		prod.Mul(a, &inv)
+		return prod.IsOne()
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFp2InverseZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero inversion")
+		}
+	}()
+	var z, zero fp2
+	z.Inverse(&zero)
+}
+
+func TestFp2Conjugate(t *testing.T) {
+	// conj(a) must equal a^p (the Frobenius).
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 5; i++ {
+		a := randFp2(r)
+		var conj, pow fp2
+		conj.Conjugate(a)
+		pow.Exp(a, P)
+		if !conj.Equal(&pow) {
+			t.Fatalf("conjugate != a^p for %v", a)
+		}
+	}
+}
+
+func TestMulByXi(t *testing.T) {
+	var xi fp2
+	xi.c0.SetInt64(9)
+	xi.c1.SetInt64(1)
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 10; i++ {
+		a := randFp2(r)
+		var viaHelper, viaMul fp2
+		mulByXi(&viaHelper, a)
+		viaMul.Mul(a, &xi)
+		if !viaHelper.Equal(&viaMul) {
+			t.Fatalf("mulByXi mismatch for %v", a)
+		}
+	}
+}
+
+func TestFp6Inverse(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randFp6(r)
+		if a.IsZero() {
+			return true
+		}
+		var inv, prod fp6
+		inv.Inverse(a)
+		prod.Mul(a, &inv)
+		return prod.IsOne()
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFp6MulAssociativeAndCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randFp6(r), randFp6(r), randFp6(r)
+		var l, rr, ab, ba fp6
+		l.Mul(a, b)
+		l.Mul(&l, c)
+		rr.Mul(b, c)
+		rr.Mul(a, &rr)
+		ab.Mul(a, b)
+		ba.Mul(b, a)
+		return l.Equal(&rr) && ab.Equal(&ba)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFp6MulByTau(t *testing.T) {
+	// Multiplying by τ must match multiplication by the element (0,1,0).
+	var tau fp6
+	tau.c1.SetOne()
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 10; i++ {
+		a := randFp6(r)
+		var viaHelper, viaMul fp6
+		viaHelper.MulByTau(a)
+		viaMul.Mul(a, &tau)
+		if !viaHelper.Equal(&viaMul) {
+			t.Fatalf("MulByTau mismatch")
+		}
+	}
+}
+
+func TestFp6Frobenius(t *testing.T) {
+	// Frobenius(a) must equal a^p computed generically in Fp12 (embed).
+	r := rand.New(rand.NewSource(10))
+	for i := 0; i < 3; i++ {
+		a := randFp6(r)
+		var emb, frob fp12
+		emb.c0.Set(a)
+		frob.Frobenius(&emb)
+		var pow fp12
+		pow.Exp(&emb, P)
+		if !frob.Equal(&pow) {
+			t.Fatalf("fp6-embedded Frobenius != a^p")
+		}
+	}
+}
+
+func TestFp12Inverse(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randFp12(r)
+		if a.IsZero() {
+			return true
+		}
+		var inv, prod fp12
+		inv.Inverse(a)
+		prod.Mul(a, &inv)
+		return prod.IsOne()
+	}
+	cfg := quickCfg()
+	cfg.MaxCount = 10
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFp12SquareMatchesMul(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 10; i++ {
+		a := randFp12(r)
+		var sq, mul fp12
+		sq.Square(a)
+		mul.Mul(a, a)
+		if !sq.Equal(&mul) {
+			t.Fatal("fp12 square != mul")
+		}
+	}
+}
+
+func TestFp12Frobenius(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for i := 0; i < 3; i++ {
+		a := randFp12(r)
+		var frob, pow fp12
+		frob.Frobenius(a)
+		pow.Exp(a, P)
+		if !frob.Equal(&pow) {
+			t.Fatal("fp12 Frobenius != a^p")
+		}
+	}
+}
+
+func TestFp12FrobeniusP2(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	a := randFp12(r)
+	var frob, pow fp12
+	frob.FrobeniusP2(a)
+	pow.Exp(a, pSquared)
+	if !frob.Equal(&pow) {
+		t.Fatal("fp12 FrobeniusP2 != a^(p²)")
+	}
+}
+
+func TestFp12Conjugate(t *testing.T) {
+	// For unit-norm elements (the cyclotomic subgroup after the easy part),
+	// conjugate equals inverse; in general conjugate equals a^(p⁶).
+	r := rand.New(rand.NewSource(14))
+	a := randFp12(r)
+	var conj, pow fp12
+	conj.Conjugate(a)
+	p6 := new(big.Int).Exp(P, big.NewInt(6), nil)
+	pow.Exp(a, p6)
+	if !conj.Equal(&pow) {
+		t.Fatal("fp12 conjugate != a^(p⁶)")
+	}
+}
+
+func TestFp12ExpHomomorphic(t *testing.T) {
+	r := rand.New(rand.NewSource(15))
+	a := randFp12(r)
+	x := new(big.Int).Rand(r, Order)
+	y := new(big.Int).Rand(r, Order)
+	var ax, ay, prod, sum fp12
+	ax.Exp(a, x)
+	ay.Exp(a, y)
+	prod.Mul(&ax, &ay)
+	sum.Exp(a, new(big.Int).Add(x, y))
+	if !prod.Equal(&sum) {
+		t.Fatal("a^x·a^y != a^(x+y)")
+	}
+}

@@ -1,0 +1,176 @@
+package bn254
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// fp12 is an element of Fp12 = Fp6[ω]/(ω²−τ), stored as c0 + c1·ω.
+// The zero value is the field's zero element.
+type fp12 struct {
+	c0, c1 fp6
+}
+
+func (e *fp12) String() string {
+	return fmt.Sprintf("{%s; %s}", e.c0.String(), e.c1.String())
+}
+
+// Set assigns a to e and returns e.
+func (e *fp12) Set(a *fp12) *fp12 {
+	e.c0.Set(&a.c0)
+	e.c1.Set(&a.c1)
+	return e
+}
+
+// SetOne assigns 1 to e and returns e.
+func (e *fp12) SetOne() *fp12 {
+	e.c0.SetOne()
+	e.c1.SetZero()
+	return e
+}
+
+// SetZero assigns 0 to e and returns e.
+func (e *fp12) SetZero() *fp12 {
+	e.c0.SetZero()
+	e.c1.SetZero()
+	return e
+}
+
+// IsZero reports whether e == 0.
+func (e *fp12) IsZero() bool { return e.c0.IsZero() && e.c1.IsZero() }
+
+// IsOne reports whether e == 1.
+func (e *fp12) IsOne() bool { return e.c0.IsOne() && e.c1.IsZero() }
+
+// Equal reports whether e == a.
+func (e *fp12) Equal(a *fp12) bool {
+	return e.c0.Equal(&a.c0) && e.c1.Equal(&a.c1)
+}
+
+// Mul sets e = a·b and returns e. Aliasing is allowed.
+func (e *fp12) Mul(a, b *fp12) *fp12 {
+	// (a0 + a1ω)(b0 + b1ω) = (a0b0 + τ a1b1) + (a0b1 + a1b0)·ω
+	var v0, v1, t0, t1 fp6
+	v0.Mul(&a.c0, &b.c0)
+	v1.Mul(&a.c1, &b.c1)
+	t0.Mul(&a.c0, &b.c1)
+	t1.Mul(&a.c1, &b.c0)
+
+	var z0, z1 fp6
+	z0.MulByTau(&v1)
+	z0.Add(&z0, &v0)
+	z1.Add(&t0, &t1)
+
+	e.c0.Set(&z0)
+	e.c1.Set(&z1)
+	return e
+}
+
+// Square sets e = a² and returns e.
+func (e *fp12) Square(a *fp12) *fp12 {
+	// (a0 + a1ω)² = (a0² + τ a1²) + 2a0a1·ω
+	var v0, v1, t fp6
+	v0.Square(&a.c0)
+	v1.Square(&a.c1)
+	t.Mul(&a.c0, &a.c1)
+
+	var z0, z1 fp6
+	z0.MulByTau(&v1)
+	z0.Add(&z0, &v0)
+	z1.Add(&t, &t)
+
+	e.c0.Set(&z0)
+	e.c1.Set(&z1)
+	return e
+}
+
+// Conjugate sets e = a0 - a1·ω, which equals a^(p⁶), and returns e.
+func (e *fp12) Conjugate(a *fp12) *fp12 {
+	e.c0.Set(&a.c0)
+	e.c1.Neg(&a.c1)
+	return e
+}
+
+// Inverse sets e = a⁻¹ and returns e. Panics on zero input.
+func (e *fp12) Inverse(a *fp12) *fp12 {
+	// (a0 + a1ω)⁻¹ = (a0 - a1ω)/(a0² - τ a1²)
+	var d, t fp6
+	d.Square(&a.c0)
+	t.Square(&a.c1)
+	t.MulByTau(&t)
+	d.Sub(&d, &t)
+	d.Inverse(&d)
+
+	e.c0.Mul(&a.c0, &d)
+	t.Neg(&a.c1)
+	e.c1.Mul(&t, &d)
+	return e
+}
+
+// Frobenius sets e = a^p and returns e.
+func (e *fp12) Frobenius(a *fp12) *fp12 {
+	// (c0 + c1ω)^p = Frob6(c0) + ξ^((p-1)/6)·Frob6(c1)·ω
+	e.c0.Frobenius(&a.c0)
+	var t fp6
+	t.Frobenius(&a.c1)
+	e.c1.MulByFp2(&t, &xiToPMinus1Over6)
+	return e
+}
+
+// FrobeniusP2 sets e = a^(p²) and returns e.
+func (e *fp12) FrobeniusP2(a *fp12) *fp12 {
+	e.Frobenius(a)
+	return e.Frobenius(e)
+}
+
+// Exp sets e = a^k for non-negative k and returns e. Aliasing is allowed.
+// Exponents longer than one word use a 4-bit fixed window (≈25% fewer
+// multiplications than binary for 256-bit exponents); expBinary is the
+// property-tested reference.
+func (e *fp12) Exp(a *fp12, k *big.Int) *fp12 {
+	if k.BitLen() <= 64 {
+		return e.expBinary(a, k)
+	}
+	return e.expWindowed(a, k)
+}
+
+// expBinary is plain square-and-multiply.
+func (e *fp12) expBinary(a *fp12, k *big.Int) *fp12 {
+	var res, base fp12
+	res.SetOne()
+	base.Set(a)
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		res.Square(&res)
+		if k.Bit(i) == 1 {
+			res.Mul(&res, &base)
+		}
+	}
+	return e.Set(&res)
+}
+
+// expWindowed is 4-bit fixed-window exponentiation.
+func (e *fp12) expWindowed(a *fp12, k *big.Int) *fp12 {
+	// Precompute a^0 .. a^15.
+	var table [16]fp12
+	table[0].SetOne()
+	table[1].Set(a)
+	for i := 2; i < 16; i++ {
+		table[i].Mul(&table[i-1], a)
+	}
+	var res fp12
+	res.SetOne()
+	bits := k.BitLen()
+	// Round up to a multiple of 4 and scan nibbles MSB→LSB.
+	top := (bits + 3) / 4 * 4
+	for i := top - 4; i >= 0; i -= 4 {
+		res.Square(&res)
+		res.Square(&res)
+		res.Square(&res)
+		res.Square(&res)
+		nib := k.Bit(i) | k.Bit(i+1)<<1 | k.Bit(i+2)<<2 | k.Bit(i+3)<<3
+		if nib != 0 {
+			res.Mul(&res, &table[nib])
+		}
+	}
+	return e.Set(&res)
+}

@@ -1,0 +1,106 @@
+package bn254
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+)
+
+// Fuzz targets for the group decode surfaces. Invariants: no panics, and
+// accepted inputs are canonical (re-marshal to themselves) and satisfy the
+// relevant group membership.
+
+func FuzzG1Unmarshal(f *testing.F) {
+	var p G1
+	p.ScalarBaseMult(big.NewInt(123456789))
+	f.Add(p.Marshal())
+	f.Add(make([]byte, G1Size))
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var q G1
+		if err := q.Unmarshal(data); err != nil {
+			return
+		}
+		if !q.IsOnCurve() {
+			t.Fatal("accepted off-curve G1 point")
+		}
+		if !bytes.Equal(q.Marshal(), data) {
+			t.Fatal("accepted non-canonical G1 encoding")
+		}
+	})
+}
+
+func FuzzG1UnmarshalCompressed(f *testing.F) {
+	var p G1
+	p.ScalarBaseMult(big.NewInt(987654321))
+	f.Add(p.MarshalCompressed())
+	f.Add(make([]byte, G1CompressedSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var q G1
+		if err := q.UnmarshalCompressed(data); err != nil {
+			return
+		}
+		if !q.IsOnCurve() {
+			t.Fatal("accepted off-curve compressed G1 point")
+		}
+		if !bytes.Equal(q.MarshalCompressed(), data) {
+			t.Fatal("accepted non-canonical compressed G1 encoding")
+		}
+	})
+}
+
+func FuzzG2Unmarshal(f *testing.F) {
+	var p G2
+	p.ScalarBaseMult(big.NewInt(42))
+	f.Add(p.Marshal())
+	f.Add(make([]byte, G2Size))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var q G2
+		if err := q.Unmarshal(data); err != nil {
+			return
+		}
+		if !q.IsOnCurve() || !q.IsInSubgroup() {
+			t.Fatal("accepted invalid G2 point")
+		}
+		if !bytes.Equal(q.Marshal(), data) {
+			t.Fatal("accepted non-canonical G2 encoding")
+		}
+	})
+}
+
+func FuzzGTUnmarshal(f *testing.F) {
+	f.Add(GTBase().Marshal())
+	f.Add(make([]byte, GTSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g GT
+		if err := g.Unmarshal(data); err != nil {
+			return
+		}
+		if !bytes.Equal(g.Marshal(), data) {
+			t.Fatal("accepted non-canonical GT encoding")
+		}
+	})
+}
+
+func FuzzHashToG1(f *testing.F) {
+	f.Add([]byte("alice@example.com"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x80}, 300))
+	f.Fuzz(func(t *testing.T, msg []byte) {
+		p := HashToG1(DomainG1, msg)
+		if !p.IsOnCurve() || p.IsInfinity() {
+			t.Fatal("hash produced invalid point")
+		}
+	})
+}
+
+func FuzzHashToZr(f *testing.F) {
+	f.Add([]byte("type"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, msg []byte) {
+		k := HashToZr(DomainZr, msg)
+		if k.Sign() <= 0 || k.Cmp(Order) >= 0 {
+			t.Fatal("hash out of Z*_r range")
+		}
+	})
+}

@@ -1,0 +1,233 @@
+package bn254
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// G1 is a point on E: y² = x³ + 3 over Fp, in affine coordinates, or the
+// point at infinity when inf is set. The group has prime order r and
+// cofactor 1. The zero value is the point at infinity.
+type G1 struct {
+	x, y big.Int
+	inf  bool
+}
+
+// g1Gen is the conventional generator (1, 2).
+var g1Gen G1
+
+// G1Generator returns a copy of the fixed generator of G1.
+func G1Generator() *G1 {
+	var g G1
+	g.Set(&g1Gen)
+	return &g
+}
+
+// G1Infinity returns the identity element of G1.
+func G1Infinity() *G1 { return &G1{inf: true} }
+
+// Set assigns a to p and returns p.
+func (p *G1) Set(a *G1) *G1 {
+	p.x.Set(&a.x)
+	p.y.Set(&a.y)
+	p.inf = a.inf
+	return p
+}
+
+// IsInfinity reports whether p is the identity.
+func (p *G1) IsInfinity() bool { return p.inf }
+
+// Equal reports whether p == q.
+func (p *G1) Equal(q *G1) bool {
+	if p.inf || q.inf {
+		return p.inf == q.inf
+	}
+	return p.x.Cmp(&q.x) == 0 && p.y.Cmp(&q.y) == 0
+}
+
+// IsOnCurve reports whether p satisfies the curve equation (infinity counts
+// as on-curve).
+func (p *G1) IsOnCurve() bool {
+	if p.inf {
+		return true
+	}
+	var lhs, rhs big.Int
+	lhs.Mul(&p.y, &p.y)
+	modP(&lhs)
+	rhs.Mul(&p.x, &p.x)
+	rhs.Mul(&rhs, &p.x)
+	rhs.Add(&rhs, curveB)
+	modP(&rhs)
+	return lhs.Cmp(&rhs) == 0
+}
+
+// Neg sets p = -a and returns p.
+func (p *G1) Neg(a *G1) *G1 {
+	if a.inf {
+		p.inf = true
+		return p
+	}
+	p.x.Set(&a.x)
+	p.y.Neg(&a.y)
+	modP(&p.y)
+	p.inf = false
+	return p
+}
+
+// Double sets p = 2a and returns p.
+func (p *G1) Double(a *G1) *G1 {
+	if a.inf || a.y.Sign() == 0 {
+		p.inf = true
+		return p
+	}
+	// λ = 3x²/(2y); x' = λ² - 2x; y' = λ(x - x') - y
+	var lam, t, x3, y3 big.Int
+	lam.Mul(&a.x, &a.x)
+	lam.Mul(&lam, big.NewInt(3))
+	t.Lsh(&a.y, 1)
+	modP(&t)
+	t.ModInverse(&t, P)
+	lam.Mul(&lam, &t)
+	modP(&lam)
+
+	x3.Mul(&lam, &lam)
+	t.Lsh(&a.x, 1)
+	x3.Sub(&x3, &t)
+	modP(&x3)
+
+	y3.Sub(&a.x, &x3)
+	y3.Mul(&y3, &lam)
+	y3.Sub(&y3, &a.y)
+	modP(&y3)
+
+	p.x.Set(&x3)
+	p.y.Set(&y3)
+	p.inf = false
+	return p
+}
+
+// Add sets p = a + b and returns p. Aliasing is allowed.
+func (p *G1) Add(a, b *G1) *G1 {
+	if a.inf {
+		return p.Set(b)
+	}
+	if b.inf {
+		return p.Set(a)
+	}
+	if a.x.Cmp(&b.x) == 0 {
+		if a.y.Cmp(&b.y) == 0 {
+			return p.Double(a)
+		}
+		p.inf = true
+		return p
+	}
+	// λ = (y2-y1)/(x2-x1); x' = λ² - x1 - x2; y' = λ(x1 - x') - y1
+	var lam, t, x3, y3 big.Int
+	lam.Sub(&b.y, &a.y)
+	t.Sub(&b.x, &a.x)
+	modP(&t)
+	t.ModInverse(&t, P)
+	lam.Mul(&lam, &t)
+	modP(&lam)
+
+	x3.Mul(&lam, &lam)
+	x3.Sub(&x3, &a.x)
+	x3.Sub(&x3, &b.x)
+	modP(&x3)
+
+	y3.Sub(&a.x, &x3)
+	y3.Mul(&y3, &lam)
+	y3.Sub(&y3, &a.y)
+	modP(&y3)
+
+	p.x.Set(&x3)
+	p.y.Set(&y3)
+	p.inf = false
+	return p
+}
+
+// ScalarMult sets p = k·a (k taken mod r) and returns p. It runs on the
+// Jacobian-coordinate ladder; scalarMultAffine is the property-tested
+// reference implementation and E1 ablation.
+func (p *G1) ScalarMult(a *G1, k *big.Int) *G1 {
+	return scalarMultJacobianG1(p, a, k)
+}
+
+// scalarMultAffine is the double-and-add ladder in affine coordinates
+// (one modular inversion per step). Kept as the reference implementation.
+func (p *G1) scalarMultAffine(a *G1, k *big.Int) *G1 {
+	kk := new(big.Int).Mod(k, Order)
+	var acc G1
+	acc.inf = true
+	var base G1
+	base.Set(a)
+	for i := kk.BitLen() - 1; i >= 0; i-- {
+		acc.Double(&acc)
+		if kk.Bit(i) == 1 {
+			acc.Add(&acc, &base)
+		}
+	}
+	return p.Set(&acc)
+}
+
+// ScalarBaseMult sets p = k·G where G is the fixed generator, and returns p.
+func (p *G1) ScalarBaseMult(k *big.Int) *G1 {
+	return p.ScalarMult(&g1Gen, k)
+}
+
+// g1ElementSize is the marshaled size of one coordinate in bytes.
+const g1ElementSize = 32
+
+// G1Size is the marshaled size of a G1 point in bytes.
+const G1Size = 2 * g1ElementSize
+
+// Marshal encodes p as 64 bytes (x‖y, big-endian, 32 bytes each). The point
+// at infinity encodes as all zeros.
+func (p *G1) Marshal() []byte {
+	out := make([]byte, G1Size)
+	if p.inf {
+		return out
+	}
+	p.x.FillBytes(out[:g1ElementSize])
+	p.y.FillBytes(out[g1ElementSize:])
+	return out
+}
+
+// Unmarshal decodes a point previously produced by Marshal, verifying that
+// it lies on the curve.
+func (p *G1) Unmarshal(data []byte) error {
+	if len(data) != G1Size {
+		return fmt.Errorf("bn254: invalid G1 encoding length %d", len(data))
+	}
+	allZero := true
+	for _, b := range data {
+		if b != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		p.inf = true
+		p.x.SetInt64(0)
+		p.y.SetInt64(0)
+		return nil
+	}
+	p.x.SetBytes(data[:g1ElementSize])
+	p.y.SetBytes(data[g1ElementSize:])
+	p.inf = false
+	if p.x.Cmp(P) >= 0 || p.y.Cmp(P) >= 0 {
+		return errors.New("bn254: G1 coordinate out of range")
+	}
+	if !p.IsOnCurve() {
+		return errors.New("bn254: G1 point not on curve")
+	}
+	return nil
+}
+
+func (p *G1) String() string {
+	if p.inf {
+		return "G1(∞)"
+	}
+	return fmt.Sprintf("G1(%s, %s)", fpString(&p.x), fpString(&p.y))
+}

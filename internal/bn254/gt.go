@@ -1,0 +1,119 @@
+package bn254
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// GT is an element of the order-r multiplicative subgroup of Fp12*, the
+// target group of the pairing. Elements returned by Pair, GT.Mul, GT.Exp
+// etc. are always in the subgroup; Unmarshal verifies field membership only
+// (use IsInSubgroup for the full, more expensive check).
+type GT struct {
+	v fp12
+}
+
+// GTOne returns the identity element of GT.
+func GTOne() *GT {
+	var g GT
+	g.v.SetOne()
+	return &g
+}
+
+// Set assigns a to g and returns g.
+func (g *GT) Set(a *GT) *GT {
+	g.v.Set(&a.v)
+	return g
+}
+
+// IsOne reports whether g is the identity.
+func (g *GT) IsOne() bool { return g.v.IsOne() }
+
+// Equal reports whether g == a.
+func (g *GT) Equal(a *GT) bool { return g.v.Equal(&a.v) }
+
+// Mul sets g = a·b and returns g.
+func (g *GT) Mul(a, b *GT) *GT {
+	g.v.Mul(&a.v, &b.v)
+	return g
+}
+
+// Inverse sets g = a⁻¹ and returns g. For subgroup elements the inverse is
+// the cheap conjugate a^(p⁶); we use the generic field inverse so that the
+// operation is correct for any nonzero input.
+func (g *GT) Inverse(a *GT) *GT {
+	g.v.Inverse(&a.v)
+	return g
+}
+
+// Div sets g = a/b and returns g.
+func (g *GT) Div(a, b *GT) *GT {
+	var inv fp12
+	inv.Inverse(&b.v)
+	g.v.Mul(&a.v, &inv)
+	return g
+}
+
+// Exp sets g = a^k (k taken mod r; negative k uses the inverse) and
+// returns g.
+func (g *GT) Exp(a *GT, k *big.Int) *GT {
+	kk := new(big.Int).Mod(k, Order)
+	g.v.Exp(&a.v, kk)
+	return g
+}
+
+// IsInSubgroup reports whether g^r == 1.
+func (g *GT) IsInSubgroup() bool {
+	var t fp12
+	t.Exp(&g.v, Order)
+	return t.IsOne()
+}
+
+// GTSize is the marshaled size of a GT element in bytes.
+const GTSize = 12 * 32
+
+// Marshal encodes g as 384 bytes: the twelve Fp coefficients in tower order
+// (c0.c0.c0, c0.c0.c1, c0.c1.c0, ..., c1.c2.c1), each 32 bytes big-endian.
+func (g *GT) Marshal() []byte {
+	out := make([]byte, 0, GTSize)
+	coeffs := g.coeffs()
+	buf := make([]byte, 32)
+	for _, c := range coeffs {
+		c.FillBytes(buf)
+		out = append(out, buf...)
+		for i := range buf {
+			buf[i] = 0
+		}
+	}
+	return out
+}
+
+func (g *GT) coeffs() []*big.Int {
+	return []*big.Int{
+		&g.v.c0.c0.c0, &g.v.c0.c0.c1,
+		&g.v.c0.c1.c0, &g.v.c0.c1.c1,
+		&g.v.c0.c2.c0, &g.v.c0.c2.c1,
+		&g.v.c1.c0.c0, &g.v.c1.c0.c1,
+		&g.v.c1.c1.c0, &g.v.c1.c1.c1,
+		&g.v.c1.c2.c0, &g.v.c1.c2.c1,
+	}
+}
+
+// Unmarshal decodes an element previously produced by Marshal, verifying
+// that every coefficient is a canonical field element.
+func (g *GT) Unmarshal(data []byte) error {
+	if len(data) != GTSize {
+		return fmt.Errorf("bn254: invalid GT encoding length %d", len(data))
+	}
+	coeffs := g.coeffs()
+	for i, c := range coeffs {
+		c.SetBytes(data[i*32 : (i+1)*32])
+		if c.Cmp(P) >= 0 {
+			return errors.New("bn254: GT coefficient out of range")
+		}
+	}
+	return nil
+}
+
+func (g *GT) String() string { return "GT" + g.v.String() }

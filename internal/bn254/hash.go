@@ -1,0 +1,132 @@
+package bn254
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"io"
+	"math/big"
+)
+
+// Domain-separation tags for the random oracles used by the schemes built
+// on this package. Keeping them here guarantees that the oracles of
+// different protocol roles never collide.
+const (
+	DomainG1     = "typepre/bn254/hash-to-g1/v1"
+	DomainZr     = "typepre/bn254/hash-to-zr/v1"
+	DomainKDF    = "typepre/bn254/gt-kdf/v1"
+	DomainGTMask = "typepre/bn254/gt-mask/v1"
+)
+
+// pPlus1Over4 is (p+1)/4; since p ≡ 3 (mod 4), t^((p+1)/4) is a square root
+// of t whenever t is a quadratic residue.
+var pPlus1Over4 = new(big.Int).Div(new(big.Int).Add(P, big.NewInt(1)), big.NewInt(4))
+
+// HashToG1 hashes an arbitrary message into G1 under the given domain tag
+// using deterministic try-and-increment: candidate x-coordinates are derived
+// from SHA-256(domain ‖ counter ‖ msg) until x³+3 is a quadratic residue.
+// Because E has cofactor 1, the resulting point is already in the order-r
+// group. The map is deterministic in (domain, msg) and modeled as a random
+// oracle (the paper's H1).
+func HashToG1(domain string, msg []byte) *G1 {
+	var ctrBuf [4]byte
+	for ctr := uint32(0); ; ctr++ {
+		binary.BigEndian.PutUint32(ctrBuf[:], ctr)
+		h := sha256.New()
+		h.Write([]byte(domain))
+		h.Write(ctrBuf[:])
+		h.Write(msg)
+		digest := h.Sum(nil)
+
+		x := new(big.Int).SetBytes(digest)
+		x.Mod(x, P)
+
+		// y² = x³ + 3
+		y2 := new(big.Int).Mul(x, x)
+		y2.Mul(y2, x)
+		y2.Add(y2, curveB)
+		y2.Mod(y2, P)
+
+		y := new(big.Int).Exp(y2, pPlus1Over4, P)
+		check := new(big.Int).Mul(y, y)
+		check.Mod(check, P)
+		if check.Cmp(y2) != 0 {
+			continue // not a quadratic residue; try next counter
+		}
+		// Deterministic sign choice from the digest so the map does not
+		// favor one square root.
+		if digest[0]&1 == 1 {
+			y.Sub(P, y)
+			y.Mod(y, P)
+		}
+		var p G1
+		p.x.Set(x)
+		p.y.Set(y)
+		p.inf = false
+		return &p
+	}
+}
+
+// HashToZr hashes an arbitrary message into Z*_r (never zero) under the
+// given domain tag — the paper's H2: {0,1}* → Z*_p.
+func HashToZr(domain string, msg []byte) *big.Int {
+	var ctrBuf [4]byte
+	for ctr := uint32(0); ; ctr++ {
+		binary.BigEndian.PutUint32(ctrBuf[:], ctr)
+		h := sha256.New()
+		h.Write([]byte(domain))
+		h.Write(ctrBuf[:])
+		h.Write(msg)
+		// Two blocks to make the bias after reduction negligible.
+		block1 := h.Sum(nil)
+		h.Write([]byte{0xff})
+		block2 := h.Sum(nil)
+		wide := new(big.Int).SetBytes(append(block1, block2...))
+		wide.Mod(wide, Order)
+		if wide.Sign() != 0 {
+			return wide
+		}
+	}
+}
+
+// RandomScalar returns a uniformly random element of Z*_r read from rng
+// (crypto/rand.Reader when rng is nil).
+func RandomScalar(rng io.Reader) (*big.Int, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	max := new(big.Int).Sub(Order, big.NewInt(1))
+	k, err := rand.Int(rng, max)
+	if err != nil {
+		return nil, err
+	}
+	return k.Add(k, big.NewInt(1)), nil // uniform in [1, r-1]
+}
+
+// RandomGT returns a uniformly random element of GT together with the
+// exponent k such that the element equals ê(g1, g2)^k.
+func RandomGT(rng io.Reader) (*GT, *big.Int, error) {
+	k, err := RandomScalar(rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	return GTExpBase(k), k, nil
+}
+
+// KDF derives size bytes of key material from a GT element via SHA-256 in
+// counter mode. It instantiates the H2: G1 → {0,1}^n oracle of the original
+// Boneh–Franklin scheme and the KEM key derivation of the hybrid mode.
+func KDF(domain string, g *GT, size int) []byte {
+	material := g.Marshal()
+	out := make([]byte, 0, size)
+	var ctrBuf [4]byte
+	for ctr := uint32(0); len(out) < size; ctr++ {
+		binary.BigEndian.PutUint32(ctrBuf[:], ctr)
+		h := sha256.New()
+		h.Write([]byte(domain))
+		h.Write(ctrBuf[:])
+		h.Write(material)
+		out = append(out, h.Sum(nil)...)
+	}
+	return out[:size]
+}

@@ -1,0 +1,315 @@
+package bn254
+
+import "math/big"
+
+// Jacobian-coordinate scalar multiplication for G1 and G2. A point
+// (X, Y, Z) represents the affine point (X/Z², Y/Z³); doubling and mixed
+// addition avoid the per-step modular inversion of the affine formulas,
+// which dominates their cost under math/big. ScalarMult uses these paths;
+// the affine ladder is kept as the property-tested reference
+// (scalarMultAffine) and as the E1 ablation.
+
+// g1Jac is a G1 point in Jacobian coordinates; Z=0 encodes infinity.
+type g1Jac struct {
+	x, y, z big.Int
+}
+
+func (j *g1Jac) setInfinity() {
+	j.x.SetInt64(1)
+	j.y.SetInt64(1)
+	j.z.SetInt64(0)
+}
+
+func (j *g1Jac) fromAffine(p *G1) {
+	if p.inf {
+		j.setInfinity()
+		return
+	}
+	j.x.Set(&p.x)
+	j.y.Set(&p.y)
+	j.z.SetInt64(1)
+}
+
+func (j *g1Jac) toAffine(p *G1) {
+	if j.z.Sign() == 0 {
+		p.inf = true
+		p.x.SetInt64(0)
+		p.y.SetInt64(0)
+		return
+	}
+	zInv := new(big.Int).ModInverse(&j.z, P)
+	zInv2 := new(big.Int).Mul(zInv, zInv)
+	zInv2.Mod(zInv2, P)
+	zInv3 := new(big.Int).Mul(zInv2, zInv)
+	zInv3.Mod(zInv3, P)
+	p.x.Mul(&j.x, zInv2)
+	modP(&p.x)
+	p.y.Mul(&j.y, zInv3)
+	modP(&p.y)
+	p.inf = false
+}
+
+// double sets j = 2j (dbl-2009-l formulas, a = 0).
+func (j *g1Jac) double() {
+	if j.z.Sign() == 0 {
+		return
+	}
+	var a, b, c, d, e, f, t big.Int
+	a.Mul(&j.x, &j.x)
+	a.Mod(&a, P) // A = X²
+	b.Mul(&j.y, &j.y)
+	b.Mod(&b, P) // B = Y²
+	c.Mul(&b, &b)
+	c.Mod(&c, P) // C = B²
+	// D = 2((X+B)² − A − C)
+	d.Add(&j.x, &b)
+	d.Mul(&d, &d)
+	d.Sub(&d, &a)
+	d.Sub(&d, &c)
+	d.Lsh(&d, 1)
+	d.Mod(&d, P)
+	// E = 3A, F = E²
+	e.Lsh(&a, 1)
+	e.Add(&e, &a)
+	e.Mod(&e, P)
+	f.Mul(&e, &e)
+	f.Mod(&f, P)
+	// Z3 = 2YZ (uses old Y)
+	var z3 big.Int
+	z3.Mul(&j.y, &j.z)
+	z3.Lsh(&z3, 1)
+	z3.Mod(&z3, P)
+	// X3 = F − 2D
+	t.Lsh(&d, 1)
+	j.x.Sub(&f, &t)
+	j.x.Mod(&j.x, P)
+	// Y3 = E(D − X3) − 8C
+	t.Sub(&d, &j.x)
+	t.Mul(&t, &e)
+	c.Lsh(&c, 3)
+	t.Sub(&t, &c)
+	j.y.Mod(&t, P)
+	j.z.Set(&z3)
+}
+
+// addMixed sets j = j + q for an affine, non-infinity q
+// (madd-2007-bl formulas).
+func (j *g1Jac) addMixed(q *G1) {
+	if j.z.Sign() == 0 {
+		j.fromAffine(q)
+		return
+	}
+	var z1z1, u2, s2, h, hh, i, jj, rr, v, t big.Int
+	z1z1.Mul(&j.z, &j.z)
+	z1z1.Mod(&z1z1, P)
+	u2.Mul(&q.x, &z1z1)
+	u2.Mod(&u2, P)
+	s2.Mul(&q.y, &j.z)
+	s2.Mul(&s2, &z1z1)
+	s2.Mod(&s2, P)
+	h.Sub(&u2, &j.x)
+	h.Mod(&h, P)
+	rr.Sub(&s2, &j.y)
+	rr.Lsh(&rr, 1)
+	rr.Mod(&rr, P)
+	if h.Sign() == 0 {
+		if rr.Sign() == 0 {
+			j.double()
+			return
+		}
+		j.setInfinity()
+		return
+	}
+	hh.Mul(&h, &h)
+	hh.Mod(&hh, P)
+	i.Lsh(&hh, 2)
+	i.Mod(&i, P)
+	jj.Mul(&h, &i)
+	jj.Mod(&jj, P)
+	v.Mul(&j.x, &i)
+	v.Mod(&v, P)
+	// X3 = r² − J − 2V
+	var x3 big.Int
+	x3.Mul(&rr, &rr)
+	x3.Sub(&x3, &jj)
+	t.Lsh(&v, 1)
+	x3.Sub(&x3, &t)
+	x3.Mod(&x3, P)
+	// Y3 = r(V − X3) − 2·Y1·J
+	var y3 big.Int
+	y3.Sub(&v, &x3)
+	y3.Mul(&y3, &rr)
+	t.Mul(&j.y, &jj)
+	t.Lsh(&t, 1)
+	y3.Sub(&y3, &t)
+	y3.Mod(&y3, P)
+	// Z3 = (Z1 + H)² − Z1Z1 − HH
+	var z3 big.Int
+	z3.Add(&j.z, &h)
+	z3.Mul(&z3, &z3)
+	z3.Sub(&z3, &z1z1)
+	z3.Sub(&z3, &hh)
+	z3.Mod(&z3, P)
+
+	j.x.Set(&x3)
+	j.y.Set(&y3)
+	j.z.Set(&z3)
+}
+
+// scalarMultJacobianG1 computes k·a via the Jacobian ladder.
+func scalarMultJacobianG1(p *G1, a *G1, k *big.Int) *G1 {
+	kk := new(big.Int).Mod(k, Order)
+	var acc g1Jac
+	acc.setInfinity()
+	if a.inf || kk.Sign() == 0 {
+		p.inf = true
+		p.x.SetInt64(0)
+		p.y.SetInt64(0)
+		return p
+	}
+	var base G1
+	base.Set(a)
+	for i := kk.BitLen() - 1; i >= 0; i-- {
+		acc.double()
+		if kk.Bit(i) == 1 {
+			acc.addMixed(&base)
+		}
+	}
+	acc.toAffine(p)
+	return p
+}
+
+// g2Jac is a G2 point in Jacobian coordinates over Fp2; Z=0 is infinity.
+type g2Jac struct {
+	x, y, z fp2
+}
+
+func (j *g2Jac) setInfinity() {
+	j.x.SetOne()
+	j.y.SetOne()
+	j.z.SetZero()
+}
+
+func (j *g2Jac) fromAffine(p *G2) {
+	if p.inf {
+		j.setInfinity()
+		return
+	}
+	j.x.Set(&p.x)
+	j.y.Set(&p.y)
+	j.z.SetOne()
+}
+
+func (j *g2Jac) toAffine(p *G2) {
+	if j.z.IsZero() {
+		p.inf = true
+		p.x.SetZero()
+		p.y.SetZero()
+		return
+	}
+	var zInv, zInv2, zInv3 fp2
+	zInv.Inverse(&j.z)
+	zInv2.Square(&zInv)
+	zInv3.Mul(&zInv2, &zInv)
+	p.x.Mul(&j.x, &zInv2)
+	p.y.Mul(&j.y, &zInv3)
+	p.inf = false
+}
+
+func (j *g2Jac) double() {
+	if j.z.IsZero() {
+		return
+	}
+	var a, b, c, d, e, f, t fp2
+	a.Square(&j.x)
+	b.Square(&j.y)
+	c.Square(&b)
+	d.Add(&j.x, &b)
+	d.Square(&d)
+	d.Sub(&d, &a)
+	d.Sub(&d, &c)
+	d.Double(&d)
+	e.Double(&a)
+	e.Add(&e, &a)
+	f.Square(&e)
+	var z3 fp2
+	z3.Mul(&j.y, &j.z)
+	z3.Double(&z3)
+	t.Double(&d)
+	j.x.Sub(&f, &t)
+	t.Sub(&d, &j.x)
+	t.Mul(&t, &e)
+	c.Double(&c)
+	c.Double(&c)
+	c.Double(&c)
+	j.y.Sub(&t, &c)
+	j.z.Set(&z3)
+}
+
+func (j *g2Jac) addMixed(q *G2) {
+	if j.z.IsZero() {
+		j.fromAffine(q)
+		return
+	}
+	var z1z1, u2, s2, h, hh, i, jj, rr, v, t fp2
+	z1z1.Square(&j.z)
+	u2.Mul(&q.x, &z1z1)
+	s2.Mul(&q.y, &j.z)
+	s2.Mul(&s2, &z1z1)
+	h.Sub(&u2, &j.x)
+	rr.Sub(&s2, &j.y)
+	rr.Double(&rr)
+	if h.IsZero() {
+		if rr.IsZero() {
+			j.double()
+			return
+		}
+		j.setInfinity()
+		return
+	}
+	hh.Square(&h)
+	i.Double(&hh)
+	i.Double(&i)
+	jj.Mul(&h, &i)
+	v.Mul(&j.x, &i)
+	var x3, y3, z3 fp2
+	x3.Square(&rr)
+	x3.Sub(&x3, &jj)
+	t.Double(&v)
+	x3.Sub(&x3, &t)
+	y3.Sub(&v, &x3)
+	y3.Mul(&y3, &rr)
+	t.Mul(&j.y, &jj)
+	t.Double(&t)
+	y3.Sub(&y3, &t)
+	z3.Add(&j.z, &h)
+	z3.Square(&z3)
+	z3.Sub(&z3, &z1z1)
+	z3.Sub(&z3, &hh)
+	j.x.Set(&x3)
+	j.y.Set(&y3)
+	j.z.Set(&z3)
+}
+
+// scalarMultJacobianG2 computes k·a via the Jacobian ladder over Fp2.
+func scalarMultJacobianG2(p *G2, a *G2, k *big.Int) *G2 {
+	kk := new(big.Int).Mod(k, Order)
+	if a.inf || kk.Sign() == 0 {
+		p.inf = true
+		p.x.SetZero()
+		p.y.SetZero()
+		return p
+	}
+	var acc g2Jac
+	acc.setInfinity()
+	var base G2
+	base.Set(a)
+	for i := kk.BitLen() - 1; i >= 0; i-- {
+		acc.double()
+		if kk.Bit(i) == 1 {
+			acc.addMixed(&base)
+		}
+	}
+	acc.toAffine(p)
+	return p
+}

@@ -1,0 +1,112 @@
+package bn254
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"math/big"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Known-answer tests: deterministic inputs with golden outputs committed in
+// testdata/kat.json. They pin the exact arithmetic (curve constants, hash
+// domains, pairing, encodings) across refactors — any change to a formula
+// that property tests might miss (e.g. swapping the two square roots, or a
+// different but still bilinear pairing) breaks these.
+//
+// Regenerate after an INTENTIONAL format change with:
+//
+//	go test ./internal/bn254 -run TestKnownAnswers -update-kat
+
+var updateKAT = flag.Bool("update-kat", false, "rewrite testdata/kat.json")
+
+type katVectors struct {
+	AScalar      string `json:"a_scalar"`
+	BScalar      string `json:"b_scalar"`
+	AG1          string `json:"a_g1"`
+	BG2          string `json:"b_g2"`
+	PairingABHex string `json:"pairing_ab"`
+	HashG1       string `json:"hash_g1_kat_identity"`
+	HashZr       string `json:"hash_zr_kat_type"`
+	AG1Comp      string `json:"a_g1_compressed"`
+	BG2Comp      string `json:"b_g2_compressed"`
+}
+
+func computeKAT() katVectors {
+	a := new(big.Int).SetInt64(0x0102030405060708)
+	b := new(big.Int).SetInt64(0x1112131415161718)
+
+	var ag1 G1
+	ag1.ScalarBaseMult(a)
+	var bg2 G2
+	bg2.ScalarBaseMult(b)
+	gt := Pair(&ag1, &bg2)
+	h1 := HashToG1(DomainG1, []byte("kat-identity"))
+	hz := HashToZr(DomainZr, []byte("kat-type"))
+
+	return katVectors{
+		AScalar:      a.String(),
+		BScalar:      b.String(),
+		AG1:          hex.EncodeToString(ag1.Marshal()),
+		BG2:          hex.EncodeToString(bg2.Marshal()),
+		PairingABHex: hex.EncodeToString(gt.Marshal()),
+		HashG1:       hex.EncodeToString(h1.Marshal()),
+		HashZr:       hz.String(),
+		AG1Comp:      hex.EncodeToString(ag1.MarshalCompressed()),
+		BG2Comp:      hex.EncodeToString(bg2.MarshalCompressed()),
+	}
+}
+
+func TestKnownAnswers(t *testing.T) {
+	path := filepath.Join("testdata", "kat.json")
+	got := computeKAT()
+
+	if *updateKAT {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update-kat to create): %v", err)
+	}
+	var want katVectors
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("known-answer mismatch:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Cross-consistency inside the vector set: the pairing must equal
+	// ê(G1,G2)^(ab) and the compressed encodings must decompress to the
+	// uncompressed points.
+	a, _ := new(big.Int).SetString(want.AScalar, 10)
+	b, _ := new(big.Int).SetString(want.BScalar, 10)
+	ab := new(big.Int).Mul(a, b)
+	var expGT GT
+	expGT.Exp(GTBase(), ab)
+	if hex.EncodeToString(expGT.Marshal()) != want.PairingABHex {
+		t.Fatal("pairing KAT inconsistent with ê(G1,G2)^(ab)")
+	}
+	comp, _ := hex.DecodeString(want.AG1Comp)
+	var p G1
+	if err := p.UnmarshalCompressed(comp); err != nil {
+		t.Fatal(err)
+	}
+	if hex.EncodeToString(p.Marshal()) != want.AG1 {
+		t.Fatal("compressed/uncompressed G1 KAT mismatch")
+	}
+}

@@ -1,0 +1,85 @@
+package bn254
+
+import "math/big"
+
+// Square roots in Fp and Fp2, used by the compressed point encodings and by
+// hash-to-curve. Both exploit p ≡ 3 (mod 4).
+
+// fpSqrt computes a square root of a in Fp, reporting whether one exists.
+func fpSqrt(a *big.Int) (*big.Int, bool) {
+	y := new(big.Int).Exp(a, pPlus1Over4, P)
+	check := new(big.Int).Mul(y, y)
+	check.Mod(check, P)
+	aa := new(big.Int).Mod(a, P)
+	if check.Cmp(aa) != 0 {
+		return nil, false
+	}
+	return y, true
+}
+
+// pMinus3Over4 and pMinus1Over2 are the exponents of the complex-method
+// Fp2 square root.
+var (
+	pMinus3Over4 = new(big.Int).Div(new(big.Int).Sub(P, big.NewInt(3)), big.NewInt(4))
+	pMinus1Over2 = new(big.Int).Div(new(big.Int).Sub(P, big.NewInt(1)), big.NewInt(2))
+)
+
+// Sqrt sets e to a square root of a and reports whether a is a quadratic
+// residue in Fp2. Uses the complex method for p ≡ 3 (mod 4)
+// (Adj–Rodríguez-Henríquez): with a1 = a^((p−3)/4), x0 = a1·a and
+// α = a1·x0 = a^((p−1)/2); if α = −1 the root is i·x0, otherwise
+// (1+α)^((p−1)/2)·x0. The final verification makes the routine total.
+func (e *fp2) Sqrt(a *fp2) bool {
+	if a.IsZero() {
+		e.SetZero()
+		return true
+	}
+	var a1, x0, alpha fp2
+	a1.Exp(a, pMinus3Over4)
+	x0.Mul(&a1, a)
+	alpha.Mul(&a1, &x0)
+
+	var minusOne fp2
+	minusOne.c0.Sub(P, bigOne)
+
+	var x fp2
+	if alpha.Equal(&minusOne) {
+		// x = i · x0
+		x.c0.Neg(&x0.c1)
+		modP(&x.c0)
+		x.c1.Set(&x0.c0)
+	} else {
+		var b fp2
+		b.c0.Add(&alpha.c0, bigOne)
+		modP(&b.c0)
+		b.c1.Set(&alpha.c1)
+		b.Exp(&b, pMinus1Over2)
+		x.Mul(&b, &x0)
+	}
+	var check fp2
+	check.Square(&x)
+	if !check.Equal(a) {
+		return false
+	}
+	e.Set(&x)
+	return true
+}
+
+// lexLarger reports whether a is "lexicographically larger" than its
+// negation, comparing (c1, c0) numerically. Used to disambiguate the two
+// square roots in compressed encodings.
+func (a *fp2) lexLarger() bool {
+	var neg fp2
+	neg.Neg(a)
+	if c := a.c1.Cmp(&neg.c1); c != 0 {
+		return c > 0
+	}
+	return a.c0.Cmp(&neg.c0) > 0
+}
+
+// fpLexLarger is the base-field analogue: x > p − x.
+func fpLexLarger(x *big.Int) bool {
+	neg := new(big.Int).Sub(P, x)
+	neg.Mod(neg, P)
+	return x.Cmp(neg) > 0
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"typepre/internal/ibe"
+)
+
+// DelegationRequest names one (delegatee, type) pair for batch delegation.
+type DelegationRequest struct {
+	DelegateeParams *ibe.Params
+	DelegateeID     string
+	Type            Type
+}
+
+// DelegateMany produces one proxy key per request. Each key carries an
+// independent delegation secret X, so compromising one reveals nothing
+// about the others. On any failure the whole batch is abandoned.
+func (d *Delegator) DelegateMany(reqs []DelegationRequest, rng io.Reader) ([]*ReKey, error) {
+	out := make([]*ReKey, 0, len(reqs))
+	for i, r := range reqs {
+		rk, err := d.Delegate(r.DelegateeParams, r.DelegateeID, r.Type, rng)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch delegation %d (%s, %q): %w", i, r.DelegateeID, r.Type, err)
+		}
+		out = append(out, rk)
+	}
+	return out, nil
+}
+
+// DelegateAllTypes delegates every listed type to a single delegatee —
+// the "trusted family doctor" pattern: full read access, still through
+// per-type keys so individual categories remain revocable.
+func (d *Delegator) DelegateAllTypes(params *ibe.Params, delegateeID string, types []Type, rng io.Reader) ([]*ReKey, error) {
+	reqs := make([]DelegationRequest, 0, len(types))
+	for _, t := range types {
+		reqs = append(reqs, DelegationRequest{DelegateeParams: params, DelegateeID: delegateeID, Type: t})
+	}
+	return d.DelegateMany(reqs, rng)
+}

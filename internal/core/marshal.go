@@ -1,0 +1,166 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"typepre/internal/bn254"
+	"typepre/internal/ibe"
+)
+
+// ErrEncoding is returned when a serialized value cannot be decoded.
+var ErrEncoding = errors.New("core: invalid encoding")
+
+func appendString(out []byte, s string) []byte {
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(s)))
+	out = append(out, lenBuf[:]...)
+	return append(out, s...)
+}
+
+func readString(data []byte) (string, []byte, error) {
+	if len(data) < 4 {
+		return "", nil, fmt.Errorf("%w: truncated string", ErrEncoding)
+	}
+	n := binary.BigEndian.Uint32(data[:4])
+	if uint32(len(data)-4) < n {
+		return "", nil, fmt.Errorf("%w: truncated string body", ErrEncoding)
+	}
+	return string(data[4 : 4+n]), data[4+n:], nil
+}
+
+// Marshal encodes the ciphertext as C1‖C2‖len(Type)‖Type.
+func (c *Ciphertext) Marshal() []byte {
+	out := make([]byte, 0, bn254.G2Size+bn254.GTSize+4+len(c.Type))
+	out = append(out, c.C1.Marshal()...)
+	out = append(out, c.C2.Marshal()...)
+	out = appendString(out, string(c.Type))
+	return out
+}
+
+// UnmarshalCiphertext decodes a Ciphertext produced by Marshal.
+func UnmarshalCiphertext(data []byte) (*Ciphertext, error) {
+	if len(data) < bn254.G2Size+bn254.GTSize+4 {
+		return nil, fmt.Errorf("%w: ciphertext too short", ErrEncoding)
+	}
+	var c1 bn254.G2
+	if err := c1.Unmarshal(data[:bn254.G2Size]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrEncoding, err)
+	}
+	data = data[bn254.G2Size:]
+	var c2 bn254.GT
+	if err := c2.Unmarshal(data[:bn254.GTSize]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrEncoding, err)
+	}
+	data = data[bn254.GTSize:]
+	t, rest, err := readString(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrEncoding)
+	}
+	return &Ciphertext{C1: &c1, C2: &c2, Type: Type(t)}, nil
+}
+
+// Marshal encodes the proxy key as
+// len(Type)‖Type‖len(DelegatorID)‖DelegatorID‖len(DelegateeID)‖DelegateeID‖RK‖EncX.
+func (rk *ReKey) Marshal() []byte {
+	encX := rk.EncX.Marshal()
+	out := make([]byte, 0, 12+len(rk.Type)+len(rk.DelegatorID)+len(rk.DelegateeID)+bn254.G1Size+len(encX))
+	out = appendString(out, string(rk.Type))
+	out = appendString(out, rk.DelegatorID)
+	out = appendString(out, rk.DelegateeID)
+	out = append(out, rk.RK.Marshal()...)
+	out = append(out, encX...)
+	return out
+}
+
+// UnmarshalReKey decodes a ReKey produced by Marshal.
+func UnmarshalReKey(data []byte) (*ReKey, error) {
+	t, data, err := readString(data)
+	if err != nil {
+		return nil, err
+	}
+	delegator, data, err := readString(data)
+	if err != nil {
+		return nil, err
+	}
+	delegatee, data, err := readString(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) != bn254.G1Size+ibe.CiphertextSize {
+		return nil, fmt.Errorf("%w: rekey body length %d", ErrEncoding, len(data))
+	}
+	var rk bn254.G1
+	if err := rk.Unmarshal(data[:bn254.G1Size]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrEncoding, err)
+	}
+	encX, err := ibe.UnmarshalCiphertext(data[bn254.G1Size:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrEncoding, err)
+	}
+	return &ReKey{
+		Type:        Type(t),
+		DelegatorID: delegator,
+		DelegateeID: delegatee,
+		RK:          &rk,
+		EncX:        encX,
+	}, nil
+}
+
+// Marshal encodes the re-encrypted ciphertext.
+func (rc *ReCiphertext) Marshal() []byte {
+	encX := rc.EncX.Marshal()
+	out := make([]byte, 0, bn254.G2Size+bn254.GTSize+12+len(rc.Type)+len(rc.DelegatorID)+len(rc.DelegateeID)+len(encX))
+	out = append(out, rc.C1.Marshal()...)
+	out = append(out, rc.C2.Marshal()...)
+	out = appendString(out, string(rc.Type))
+	out = appendString(out, rc.DelegatorID)
+	out = appendString(out, rc.DelegateeID)
+	out = append(out, encX...)
+	return out
+}
+
+// UnmarshalReCiphertext decodes a ReCiphertext produced by Marshal.
+func UnmarshalReCiphertext(data []byte) (*ReCiphertext, error) {
+	if len(data) < bn254.G2Size+bn254.GTSize {
+		return nil, fmt.Errorf("%w: reciphertext too short", ErrEncoding)
+	}
+	var c1 bn254.G2
+	if err := c1.Unmarshal(data[:bn254.G2Size]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrEncoding, err)
+	}
+	data = data[bn254.G2Size:]
+	var c2 bn254.GT
+	if err := c2.Unmarshal(data[:bn254.GTSize]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrEncoding, err)
+	}
+	data = data[bn254.GTSize:]
+	t, data, err := readString(data)
+	if err != nil {
+		return nil, err
+	}
+	delegator, data, err := readString(data)
+	if err != nil {
+		return nil, err
+	}
+	delegatee, data, err := readString(data)
+	if err != nil {
+		return nil, err
+	}
+	encX, err := ibe.UnmarshalCiphertext(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrEncoding, err)
+	}
+	return &ReCiphertext{
+		C1:          &c1,
+		C2:          &c2,
+		Type:        Type(t),
+		DelegatorID: delegator,
+		DelegateeID: delegatee,
+		EncX:        encX,
+	}, nil
+}

@@ -1,0 +1,101 @@
+package games
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"typepre/internal/ibe"
+)
+
+// CCAChallenger runs the IND-ID-CCA game of §3.2 (Definition 4) against
+// the FullIdent variant of the base IBE: the adversary additionally gets a
+// Decrypt oracle, restricted after the challenge by the standard
+// (c*, id*) exclusion.
+type CCAChallenger struct {
+	kgc *ibe.KGC
+	rng io.Reader
+
+	extracted    map[string]bool
+	challenged   bool
+	challengeID  string
+	challengeCT  []byte // marshaled challenge, for the exclusion check
+	b            int
+	decryptCalls int
+}
+
+// NewCCAChallenger sets up the game.
+func NewCCAChallenger(rng io.Reader) (*CCAChallenger, error) {
+	kgc, err := ibe.Setup("cca-kgc", rng)
+	if err != nil {
+		return nil, err
+	}
+	return &CCAChallenger{kgc: kgc, rng: rng, extracted: map[string]bool{}}, nil
+}
+
+// Params returns the game's public parameters.
+func (c *CCAChallenger) Params() *ibe.Params { return c.kgc.Params() }
+
+// Extract answers an Extract query under the usual constraint.
+func (c *CCAChallenger) Extract(id string) (*ibe.PrivateKey, error) {
+	if c.challenged && id == c.challengeID {
+		return nil, fmt.Errorf("%w: Extract on the challenge identity", ErrConstraintViolated)
+	}
+	c.extracted[id] = true
+	return c.kgc.Extract(id), nil
+}
+
+// Decrypt answers a decryption-oracle query for (ct, id). After the
+// challenge, the pair (c*, id*) is excluded.
+func (c *CCAChallenger) Decrypt(ct *ibe.CCACiphertext, id string) ([]byte, error) {
+	if ct == nil {
+		return nil, fmt.Errorf("%w: nil ciphertext", ErrProtocol)
+	}
+	if c.challenged && id == c.challengeID && bytes.Equal(ct.Marshal(), c.challengeCT) {
+		return nil, fmt.Errorf("%w: Decrypt on the challenge ciphertext", ErrConstraintViolated)
+	}
+	c.decryptCalls++
+	sk := c.kgc.Extract(id)
+	return ibe.DecryptCCA(sk, ct)
+}
+
+// DecryptCalls reports how many oracle decryptions were served.
+func (c *CCAChallenger) DecryptCalls() int { return c.decryptCalls }
+
+// Challenge flips b and encrypts m_b to id with FullIdent.
+func (c *CCAChallenger) Challenge(m0, m1 []byte, id string) (*ibe.CCACiphertext, error) {
+	if c.challenged {
+		return nil, fmt.Errorf("%w: second challenge", ErrProtocol)
+	}
+	if c.extracted[id] {
+		return nil, fmt.Errorf("%w: challenge identity was extracted", ErrConstraintViolated)
+	}
+	if len(m0) != len(m1) {
+		return nil, fmt.Errorf("%w: challenge messages must have equal length", ErrProtocol)
+	}
+	b, err := coin(c.rng)
+	if err != nil {
+		return nil, err
+	}
+	m := m0
+	if b == 1 {
+		m = m1
+	}
+	ct, err := ibe.EncryptCCA(c.kgc.Params(), id, m, c.rng)
+	if err != nil {
+		return nil, err
+	}
+	c.b = b
+	c.challenged = true
+	c.challengeID = id
+	c.challengeCT = ct.Marshal()
+	return ct, nil
+}
+
+// Finish reports whether the guess was right.
+func (c *CCAChallenger) Finish(guess int) (bool, error) {
+	if !c.challenged {
+		return false, fmt.Errorf("%w: guess before challenge", ErrProtocol)
+	}
+	return guess == c.b, nil
+}

@@ -1,0 +1,143 @@
+package games
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"typepre/internal/ibe"
+)
+
+func TestCCAGameDecryptOracleWorks(t *testing.T) {
+	c, err := NewCCAChallenger(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("oracle me")
+	ct, err := ibe.EncryptCCA(c.Params(), "someone@x", msg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decrypt(ct, "someone@x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("oracle returned wrong plaintext")
+	}
+	if c.DecryptCalls() != 1 {
+		t.Fatal("oracle accounting wrong")
+	}
+}
+
+func TestCCAGameChallengeDecryptExcluded(t *testing.T) {
+	c, err := NewCCAChallenger(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := []byte("message zero")
+	m1 := []byte("message one!")
+	ct, err := c.Challenge(m0, m1, "victim@x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The trivial attack — ask the oracle for the challenge — must trip.
+	if _, err := c.Decrypt(ct, "victim@x"); !errors.Is(err, ErrConstraintViolated) {
+		t.Fatalf("want ErrConstraintViolated, got %v", err)
+	}
+	// But decrypting OTHER ciphertexts for the challenge identity is
+	// explicitly allowed in CCA2 — and FullIdent's FO check makes mauled
+	// variants of the challenge useless (they just fail).
+	mauled := &ibe.CCACiphertext{C1: ct.C1, C2: append([]byte{}, ct.C2...), C3: ct.C3}
+	mauled.C2[0] ^= 1
+	if _, err := c.Decrypt(mauled, "victim@x"); err == nil {
+		t.Fatal("mauled challenge decrypted — FO transform broken")
+	} else if errors.Is(err, ErrConstraintViolated) {
+		t.Fatal("mauled (≠ challenge) ciphertext wrongly excluded")
+	}
+	// Fresh legitimate ciphertexts for the challenge identity still work.
+	other, _ := ibe.EncryptCCA(c.Params(), "victim@x", []byte("fresh"), nil)
+	if got, err := c.Decrypt(other, "victim@x"); err != nil || !bytes.Equal(got, []byte("fresh")) {
+		t.Fatalf("legitimate post-challenge oracle query failed: %v", err)
+	}
+}
+
+func TestCCAGameUnequalLengthsRejected(t *testing.T) {
+	c, _ := NewCCAChallenger(nil)
+	if _, err := c.Challenge([]byte("short"), []byte("longer message"), "v@x"); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("want ErrProtocol, got %v", err)
+	}
+}
+
+func TestCCAGameGuessingNoAdvantage(t *testing.T) {
+	wins := 0
+	for i := 0; i < gameRuns; i++ {
+		c, err := NewCCAChallenger(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Challenge([]byte("aaaa"), []byte("bbbb"), "victim@x"); err != nil {
+			t.Fatal(err)
+		}
+		g, _ := RandomBit(nil)
+		won, err := c.Finish(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if won {
+			wins++
+		}
+	}
+	if adv := abs(float64(wins)/float64(gameRuns) - 0.5); adv > advantageBound {
+		t.Fatalf("CCA guessing advantage %.3f", adv)
+	}
+}
+
+func TestCCAGameExtractConstraints(t *testing.T) {
+	c, _ := NewCCAChallenger(nil)
+	if _, err := c.Extract("victim@x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Challenge([]byte("a"), []byte("b"), "victim@x"); !errors.Is(err, ErrConstraintViolated) {
+		t.Fatalf("want ErrConstraintViolated, got %v", err)
+	}
+	c2, _ := NewCCAChallenger(nil)
+	if _, err := c2.Challenge([]byte("a"), []byte("b"), "victim@x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Extract("victim@x"); !errors.Is(err, ErrConstraintViolated) {
+		t.Fatalf("want ErrConstraintViolated, got %v", err)
+	}
+	if _, err := c2.Finish(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCCAGameBackdoorKeyWins(t *testing.T) {
+	c, err := NewCCAChallenger(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := c.kgc.Extract("victim@x") // back door
+	m0 := []byte("zero")
+	m1 := []byte("one!")
+	ct, err := c.Challenge(m0, m1, "victim@x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ibe.DecryptCCA(sk, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guess := 1
+	if bytes.Equal(m, m0) {
+		guess = 0
+	}
+	won, err := c.Finish(guess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !won {
+		t.Fatal("omniscient adversary lost the CCA game")
+	}
+}

@@ -1,0 +1,171 @@
+// Package hybrid provides byte-payload encryption on top of the core
+// type-and-identity PRE scheme via the standard KEM/DEM composition: a
+// fresh random GT element is encrypted with the PRE scheme (the KEM), a
+// SHA-256 KDF derives an AES-256-GCM key from it, and the payload is
+// sealed with that key (the DEM).
+//
+// Re-encryption touches only the KEM part, so the proxy's work is
+// independent of the payload size — the property experiment E7 measures.
+package hybrid
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+
+	"typepre/internal/bn254"
+	"typepre/internal/core"
+	"typepre/internal/ibe"
+)
+
+// Errors returned by this package.
+var (
+	ErrDecrypt = errors.New("hybrid: decryption failed (wrong key, wrong type, or tampered payload)")
+)
+
+const (
+	keySize   = 32 // AES-256
+	nonceSize = 12 // GCM standard nonce
+)
+
+// Ciphertext is a hybrid ciphertext: a PRE-encrypted KEM plus a sealed
+// payload. Both parts carry the message type.
+type Ciphertext struct {
+	KEM     *core.Ciphertext
+	Nonce   []byte
+	Payload []byte // AES-GCM sealed
+}
+
+// ReCiphertext is the re-encrypted form: the KEM has been transformed by
+// the proxy; the payload is untouched.
+type ReCiphertext struct {
+	KEM     *core.ReCiphertext
+	Nonce   []byte
+	Payload []byte
+}
+
+// aad builds the GCM associated data: the type label plus the KEM
+// randomizer C1, which is the one KEM component preserved verbatim by
+// re-encryption. Binding it detects both relabeled ciphertexts and
+// mix-and-match splicing of payloads onto foreign KEMs.
+func aad(t core.Type, c1 interface{ Marshal() []byte }) []byte {
+	out := append([]byte(t), 0x00)
+	return append(out, c1.Marshal()...)
+}
+
+// sealPayload encrypts msg under a key derived from k, authenticating the
+// type label and the KEM randomizer as associated data so a relabeled or
+// spliced ciphertext fails loudly.
+func sealPayload(k *bn254.GT, ad, msg []byte) (nonce, sealed []byte, err error) {
+	key := bn254.KDF(bn254.DomainKDF, k, keySize)
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, nil, fmt.Errorf("hybrid: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, nil, fmt.Errorf("hybrid: %w", err)
+	}
+	nonce = make([]byte, nonceSize)
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, nil, fmt.Errorf("hybrid: %w", err)
+	}
+	sealed = aead.Seal(nil, nonce, msg, ad)
+	return nonce, sealed, nil
+}
+
+// openPayload reverses sealPayload. A wrong KEM key or a modified payload
+// returns ErrDecrypt.
+func openPayload(k *bn254.GT, ad, nonce, sealed []byte) ([]byte, error) {
+	key := bn254.KDF(bn254.DomainKDF, k, keySize)
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: %w", err)
+	}
+	if len(nonce) != nonceSize {
+		return nil, ErrDecrypt
+	}
+	msg, err := aead.Open(nil, nonce, sealed, ad)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return msg, nil
+}
+
+// Encrypt seals msg with a fresh KEM under the delegator's identity and
+// the given type.
+func Encrypt(d *core.Delegator, msg []byte, t core.Type, rng io.Reader) (*Ciphertext, error) {
+	k, _, err := bn254.RandomGT(rng)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: %w", err)
+	}
+	kem, err := d.Encrypt(k, t, rng)
+	if err != nil {
+		return nil, err
+	}
+	nonce, sealed, err := sealPayload(k, aad(t, kem.C1), msg)
+	if err != nil {
+		return nil, err
+	}
+	return &Ciphertext{KEM: kem, Nonce: nonce, Payload: sealed}, nil
+}
+
+// Decrypt opens a hybrid ciphertext with the delegator's own key.
+func Decrypt(d *core.Delegator, ct *Ciphertext) ([]byte, error) {
+	if ct == nil || ct.KEM == nil {
+		return nil, ErrDecrypt
+	}
+	k, err := d.Decrypt(ct.KEM)
+	if err != nil {
+		return nil, err
+	}
+	return openPayload(k, aad(ct.KEM.Type, ct.KEM.C1), ct.Nonce, ct.Payload)
+}
+
+// ReEncrypt transforms the KEM with the proxy key; the sealed payload is
+// copied verbatim. Cost is independent of len(Payload).
+func ReEncrypt(ct *Ciphertext, rk *core.ReKey) (*ReCiphertext, error) {
+	if ct == nil || ct.KEM == nil {
+		return nil, ErrDecrypt
+	}
+	kem, err := core.ReEncrypt(ct.KEM, rk)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, len(ct.Nonce))
+	copy(nonce, ct.Nonce)
+	payload := make([]byte, len(ct.Payload))
+	copy(payload, ct.Payload)
+	return &ReCiphertext{KEM: kem, Nonce: nonce, Payload: payload}, nil
+}
+
+// OpenWithKEMKey unseals a hybrid ciphertext given an explicitly recovered
+// KEM key. Exposed for the compromise experiments (E6/E8), which model an
+// attacker who obtained the KEM key through collusion rather than through
+// a legitimate decryption path.
+func OpenWithKEMKey(k *bn254.GT, ct *Ciphertext) ([]byte, error) {
+	if k == nil || ct == nil || ct.KEM == nil {
+		return nil, ErrDecrypt
+	}
+	return openPayload(k, aad(ct.KEM.Type, ct.KEM.C1), ct.Nonce, ct.Payload)
+}
+
+// DecryptReEncrypted opens a re-encrypted hybrid ciphertext with the
+// delegatee's KGC2 private key.
+func DecryptReEncrypted(sk *ibe.PrivateKey, rct *ReCiphertext) ([]byte, error) {
+	if rct == nil || rct.KEM == nil {
+		return nil, ErrDecrypt
+	}
+	k, err := core.DecryptReEncrypted(sk, rct.KEM)
+	if err != nil {
+		return nil, err
+	}
+	return openPayload(k, aad(rct.KEM.Type, rct.KEM.C1), rct.Nonce, rct.Payload)
+}

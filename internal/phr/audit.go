@@ -1,0 +1,91 @@
+package phr
+
+import (
+	"sync"
+	"time"
+)
+
+// Outcome classifies an audited disclosure attempt.
+type Outcome string
+
+// Audit outcomes.
+const (
+	OutcomeGranted  Outcome = "granted"
+	OutcomeNoGrant  Outcome = "no-grant"
+	OutcomeNotFound Outcome = "not-found"
+	OutcomeError    Outcome = "error"
+)
+
+// AuditEntry records one disclosure attempt at a proxy.
+type AuditEntry struct {
+	Time      time.Time
+	Proxy     string
+	PatientID string
+	RecordID  string
+	Category  Category
+	Requester string
+	Outcome   Outcome
+}
+
+// AuditLog is an append-only, concurrency-safe log of disclosure attempts.
+// §5 relies on patients choosing proxies "according to trust"; the audit
+// log is what makes that trust inspectable.
+type AuditLog struct {
+	mu      sync.RWMutex
+	entries []AuditEntry
+}
+
+// NewAuditLog returns an empty log.
+func NewAuditLog() *AuditLog { return &AuditLog{} }
+
+// Append adds an entry (stamped with the current time if zero).
+func (l *AuditLog) Append(e AuditEntry) {
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append(l.entries, e)
+}
+
+// Len returns the number of entries.
+func (l *AuditLog) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.entries)
+}
+
+// Entries returns a copy of all entries in append order.
+func (l *AuditLog) Entries() []AuditEntry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]AuditEntry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// ByRequester returns the entries for one requester, in order.
+func (l *AuditLog) ByRequester(requester string) []AuditEntry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []AuditEntry
+	for _, e := range l.entries {
+		if e.Requester == requester {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Denials returns the entries whose outcome is not OutcomeGranted.
+func (l *AuditLog) Denials() []AuditEntry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []AuditEntry
+	for _, e := range l.entries {
+		if e.Outcome != OutcomeGranted {
+			out = append(out, e)
+		}
+	}
+	return out
+}

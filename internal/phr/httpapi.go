@@ -1,0 +1,337 @@
+package phr
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"typepre/internal/core"
+	"typepre/internal/hybrid"
+)
+
+// HTTP API for the PHR disclosure service: the deployable form of the §5
+// architecture. The server holds only what the semi-trusted parties hold —
+// sealed records and re-encryption grants — and every response carrying
+// record content is a ciphertext for exactly one requester.
+//
+//	POST   /v1/records                      upload a sealed record
+//	GET    /v1/records/{id}?requester=R     disclose one record toward R
+//	GET    /v1/patients/{p}/categories/{c}?requester=R   bulk disclosure
+//	POST   /v1/grants                       install a marshaled rekey
+//	DELETE /v1/grants?patient=&category=&requester=      revoke
+//	GET    /v1/audit?category=C             audit entries (JSON)
+//
+// Binary payloads use application/octet-stream with the package's own
+// framing; metadata rides in headers (X-Record-*).
+
+// Header names of the record-upload metadata.
+const (
+	HeaderRecordID       = "X-Record-Id"
+	HeaderRecordPatient  = "X-Record-Patient"
+	HeaderRecordCategory = "X-Record-Category"
+)
+
+// Server exposes a Service over HTTP.
+type Server struct {
+	svc *Service
+	mux *http.ServeMux
+}
+
+// NewServer wraps a service.
+func NewServer(svc *Service) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/records", s.handlePutRecord)
+	s.mux.HandleFunc("GET /v1/records/{id...}", s.handleDisclose)
+	s.mux.HandleFunc("GET /v1/patients/{patient}/categories/{category}", s.handleDiscloseCategory)
+	s.mux.HandleFunc("POST /v1/grants", s.handleInstallGrant)
+	s.mux.HandleFunc("DELETE /v1/grants", s.handleRevokeGrant)
+	s.mux.HandleFunc("GET /v1/audit", s.handleAudit)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func httpError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, ErrNoGrant):
+		http.Error(w, err.Error(), http.StatusForbidden)
+	case errors.Is(err, ErrDuplicate):
+		http.Error(w, err.Error(), http.StatusConflict)
+	case errors.Is(err, ErrNoProxy):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+func (s *Server) handlePutRecord(w http.ResponseWriter, r *http.Request) {
+	id := r.Header.Get(HeaderRecordID)
+	patient := r.Header.Get(HeaderRecordPatient)
+	category := r.Header.Get(HeaderRecordCategory)
+	if id == "" || patient == "" || category == "" {
+		http.Error(w, "missing record metadata headers", http.StatusBadRequest)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sealed, err := hybrid.UnmarshalCiphertext(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if core.Type(category) != sealed.KEM.Type {
+		http.Error(w, "category header does not match sealed type", http.StatusBadRequest)
+		return
+	}
+	rec := &EncryptedRecord{
+		ID:        id,
+		PatientID: patient,
+		Category:  Category(category),
+		CreatedAt: time.Now(),
+		Sealed:    sealed,
+	}
+	if err := s.svc.Store.Put(rec); err != nil {
+		httpError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+}
+
+func (s *Server) handleDisclose(w http.ResponseWriter, r *http.Request) {
+	recordID := r.PathValue("id")
+	requester := r.URL.Query().Get("requester")
+	if requester == "" {
+		http.Error(w, "missing requester", http.StatusBadRequest)
+		return
+	}
+	rct, err := s.svc.Request(recordID, requester)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(rct.Marshal())
+}
+
+func (s *Server) handleDiscloseCategory(w http.ResponseWriter, r *http.Request) {
+	patient := r.PathValue("patient")
+	category := Category(r.PathValue("category"))
+	requester := r.URL.Query().Get("requester")
+	if requester == "" {
+		http.Error(w, "missing requester", http.StatusBadRequest)
+		return
+	}
+	proxy, err := s.svc.ProxyFor(category)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	rcts, err := proxy.DiscloseCategory(s.svc.Store, patient, category, requester)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	// Length-prefixed concatenation of the re-encrypted containers.
+	w.Header().Set("Content-Type", "application/octet-stream")
+	var out []byte
+	for _, rct := range rcts {
+		b := rct.Marshal()
+		out = append(out, byte(len(b)>>24), byte(len(b)>>16), byte(len(b)>>8), byte(len(b)))
+		out = append(out, b...)
+	}
+	w.Write(out)
+}
+
+func (s *Server) handleInstallGrant(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rk, err := core.UnmarshalReKey(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	proxy, err := s.svc.ProxyFor(rk.Type)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if err := proxy.Install(rk); err != nil {
+		httpError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+}
+
+func (s *Server) handleRevokeGrant(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	patient, category, requester := q.Get("patient"), Category(q.Get("category")), q.Get("requester")
+	if patient == "" || category == "" || requester == "" {
+		http.Error(w, "missing patient/category/requester", http.StatusBadRequest)
+		return
+	}
+	proxy, err := s.svc.ProxyFor(category)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if err := proxy.Revoke(patient, category, requester); err != nil {
+		httpError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	category := Category(r.URL.Query().Get("category"))
+	proxy, err := s.svc.ProxyFor(category)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(proxy.Audit().Entries())
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+// Client is a minimal typed client for the HTTP API.
+type Client struct {
+	Base string
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the given base URL (no trailing slash).
+func NewClient(base string) *Client {
+	return &Client{Base: base, HTTP: http.DefaultClient}
+}
+
+func (c *Client) do(req *http.Request, wantStatus int) ([]byte, error) {
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != wantStatus {
+		return nil, fmt.Errorf("phr: %s %s: %s: %s", req.Method, req.URL.Path, resp.Status, body)
+	}
+	return body, nil
+}
+
+// PutRecord uploads a sealed record.
+func (c *Client) PutRecord(rec *EncryptedRecord) error {
+	req, err := http.NewRequest("POST", c.Base+"/v1/records", bytesReader(rec.Sealed.Marshal()))
+	if err != nil {
+		return err
+	}
+	req.Header.Set(HeaderRecordID, rec.ID)
+	req.Header.Set(HeaderRecordPatient, rec.PatientID)
+	req.Header.Set(HeaderRecordCategory, string(rec.Category))
+	_, err = c.do(req, http.StatusCreated)
+	return err
+}
+
+// InstallGrant uploads a rekey; the server routes it to the right proxy.
+func (c *Client) InstallGrant(rk *core.ReKey) error {
+	req, err := http.NewRequest("POST", c.Base+"/v1/grants", bytesReader(rk.Marshal()))
+	if err != nil {
+		return err
+	}
+	_, err = c.do(req, http.StatusCreated)
+	return err
+}
+
+// RevokeGrant removes a grant.
+func (c *Client) RevokeGrant(patient string, category Category, requester string) error {
+	url := fmt.Sprintf("%s/v1/grants?patient=%s&category=%s&requester=%s",
+		c.Base, patient, category, requester)
+	req, err := http.NewRequest("DELETE", url, nil)
+	if err != nil {
+		return err
+	}
+	_, err = c.do(req, http.StatusNoContent)
+	return err
+}
+
+// Disclose fetches one record re-encrypted toward the requester.
+func (c *Client) Disclose(recordID, requester string) (*hybrid.ReCiphertext, error) {
+	url := fmt.Sprintf("%s/v1/records/%s?requester=%s", c.Base, recordID, requester)
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		return nil, err
+	}
+	body, err := c.do(req, http.StatusOK)
+	if err != nil {
+		return nil, err
+	}
+	return hybrid.UnmarshalReCiphertext(body)
+}
+
+// DiscloseCategory fetches every record of (patient, category).
+func (c *Client) DiscloseCategory(patient string, category Category, requester string) ([]*hybrid.ReCiphertext, error) {
+	url := fmt.Sprintf("%s/v1/patients/%s/categories/%s?requester=%s",
+		c.Base, patient, category, requester)
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		return nil, err
+	}
+	body, err := c.do(req, http.StatusOK)
+	if err != nil {
+		return nil, err
+	}
+	var out []*hybrid.ReCiphertext
+	for len(body) > 0 {
+		if len(body) < 4 {
+			return nil, fmt.Errorf("phr: truncated bulk response")
+		}
+		n := int(body[0])<<24 | int(body[1])<<16 | int(body[2])<<8 | int(body[3])
+		body = body[4:]
+		if len(body) < n {
+			return nil, fmt.Errorf("phr: truncated bulk item")
+		}
+		rct, err := hybrid.UnmarshalReCiphertext(body[:n])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rct)
+		body = body[n:]
+	}
+	return out, nil
+}
+
+// Audit fetches a proxy's audit entries.
+func (c *Client) Audit(category Category) ([]AuditEntry, error) {
+	req, err := http.NewRequest("GET", fmt.Sprintf("%s/v1/audit?category=%s", c.Base, category), nil)
+	if err != nil {
+		return nil, err
+	}
+	body, err := c.do(req, http.StatusOK)
+	if err != nil {
+		return nil, err
+	}
+	var entries []AuditEntry
+	if err := json.Unmarshal(body, &entries); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }

@@ -1,0 +1,221 @@
+package phr
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"typepre/internal/hybrid"
+)
+
+// httpScenario wires the §5 cast to a live httptest server.
+type httpScenario struct {
+	*scenario
+	ts     *httptest.Server
+	client *Client
+}
+
+func newHTTPScenario(t *testing.T) *httpScenario {
+	t.Helper()
+	s := newScenario(t)
+	ts := httptest.NewServer(NewServer(s.svc))
+	t.Cleanup(ts.Close)
+	return &httpScenario{scenario: s, ts: ts, client: NewClient(ts.URL)}
+}
+
+// sealRecord builds an EncryptedRecord locally (patient side) without
+// touching the store, for upload via the API.
+func (h *httpScenario) sealRecord(t *testing.T, id string, c Category, body []byte) *EncryptedRecord {
+	t.Helper()
+	sealed, err := hybrid.Encrypt(h.alice.Delegator(), body, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &EncryptedRecord{ID: id, PatientID: h.alice.ID(), Category: c, Sealed: sealed}
+}
+
+func TestHTTPUploadDiscloseFlow(t *testing.T) {
+	h := newHTTPScenario(t)
+	body := []byte("blood type O−")
+	rec := h.sealRecord(t, "alice/r1", CategoryEmergency, body)
+
+	if err := h.client.PutRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+	// Grant Bob via the API.
+	rk, err := h.alice.Delegator().Delegate(h.kgc2.Params(), "dr-bob@clinic.example", CategoryEmergency, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.client.InstallGrant(rk); err != nil {
+		t.Fatal(err)
+	}
+	// Disclose and decrypt client-side.
+	rct, err := h.client.Disclose("alice/r1", "dr-bob@clinic.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := hybrid.DecryptReEncrypted(h.bobKey, rct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatal("HTTP disclosure round trip failed")
+	}
+}
+
+func TestHTTPForbiddenWithoutGrant(t *testing.T) {
+	h := newHTTPScenario(t)
+	rec := h.sealRecord(t, "alice/r1", CategoryEmergency, []byte("x"))
+	if err := h.client.PutRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+	_, err := h.client.Disclose("alice/r1", "eve@outside.example")
+	if err == nil || !strings.Contains(err.Error(), "403") {
+		t.Fatalf("want 403, got %v", err)
+	}
+}
+
+func TestHTTPNotFound(t *testing.T) {
+	h := newHTTPScenario(t)
+	_, err := h.client.Disclose("nope", "dr-bob@clinic.example")
+	if err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("want 404, got %v", err)
+	}
+}
+
+func TestHTTPDuplicateUploadConflict(t *testing.T) {
+	h := newHTTPScenario(t)
+	rec := h.sealRecord(t, "alice/r1", CategoryEmergency, []byte("x"))
+	if err := h.client.PutRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+	err := h.client.PutRecord(rec)
+	if err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("want 409, got %v", err)
+	}
+}
+
+func TestHTTPCategoryMismatchRejected(t *testing.T) {
+	h := newHTTPScenario(t)
+	rec := h.sealRecord(t, "alice/r1", CategoryEmergency, []byte("x"))
+	rec.Category = CategoryMedication // header disagrees with sealed type
+	err := h.client.PutRecord(rec)
+	if err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("want 400, got %v", err)
+	}
+}
+
+func TestHTTPBulkDisclosure(t *testing.T) {
+	h := newHTTPScenario(t)
+	want := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc")}
+	for i, b := range want {
+		rec := h.sealRecord(t, "alice/r"+string(rune('1'+i)), CategoryEmergency, b)
+		if err := h.client.PutRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rk, _ := h.alice.Delegator().Delegate(h.kgc2.Params(), "dr-bob@clinic.example", CategoryEmergency, nil)
+	if err := h.client.InstallGrant(rk); err != nil {
+		t.Fatal(err)
+	}
+	rcts, err := h.client.DiscloseCategory(h.alice.ID(), CategoryEmergency, "dr-bob@clinic.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rcts) != len(want) {
+		t.Fatalf("bulk returned %d, want %d", len(rcts), len(want))
+	}
+	for i, rct := range rcts {
+		got, err := hybrid.DecryptReEncrypted(h.bobKey, rct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want[i]) {
+			t.Fatalf("bulk item %d mismatch", i)
+		}
+	}
+}
+
+func TestHTTPRevocation(t *testing.T) {
+	h := newHTTPScenario(t)
+	rec := h.sealRecord(t, "alice/r1", CategoryEmergency, []byte("x"))
+	if err := h.client.PutRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+	rk, _ := h.alice.Delegator().Delegate(h.kgc2.Params(), "dr-bob@clinic.example", CategoryEmergency, nil)
+	if err := h.client.InstallGrant(rk); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.client.Disclose("alice/r1", "dr-bob@clinic.example"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.client.RevokeGrant(h.alice.ID(), CategoryEmergency, "dr-bob@clinic.example"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.client.Disclose("alice/r1", "dr-bob@clinic.example"); err == nil {
+		t.Fatal("disclosure succeeded after revocation")
+	}
+	// Double revoke → 403.
+	if err := h.client.RevokeGrant(h.alice.ID(), CategoryEmergency, "dr-bob@clinic.example"); err == nil {
+		t.Fatal("double revoke succeeded")
+	}
+}
+
+func TestHTTPAudit(t *testing.T) {
+	h := newHTTPScenario(t)
+	rec := h.sealRecord(t, "alice/r1", CategoryEmergency, []byte("x"))
+	if err := h.client.PutRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+	h.client.Disclose("alice/r1", "eve@outside.example") // denied, audited
+	entries, err := h.client.Audit(CategoryEmergency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Outcome != OutcomeNoGrant {
+		t.Fatalf("audit = %+v", entries)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	h := newHTTPScenario(t)
+	// Missing metadata headers.
+	resp, err := http.Post(h.ts.URL+"/v1/records", "application/octet-stream", bytes.NewReader([]byte("junk")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("want 400, got %d", resp.StatusCode)
+	}
+	// Garbage grant body.
+	resp, err = http.Post(h.ts.URL+"/v1/grants", "application/octet-stream", bytes.NewReader([]byte("junk")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("want 400, got %d", resp.StatusCode)
+	}
+	// Missing requester.
+	resp, err = http.Get(h.ts.URL + "/v1/records/alice/r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("want 400, got %d", resp.StatusCode)
+	}
+	// Unknown audit category.
+	resp, err = http.Get(h.ts.URL + "/v1/audit?category=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("want 404, got %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,86 @@
+package phr
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"typepre/internal/core"
+	"typepre/internal/hybrid"
+	"typepre/internal/ibe"
+)
+
+// Patient is the data owner: one identity, ONE key pair (the paper's
+// headline property), arbitrarily many categories and delegations.
+type Patient struct {
+	id        string
+	delegator *core.Delegator
+
+	mu      sync.Mutex
+	nextRec int
+}
+
+// NewPatient registers a patient at the given KGC and wraps the extracted
+// key in a delegator.
+func NewPatient(kgc *ibe.KGC, id string) *Patient {
+	return &Patient{id: id, delegator: core.NewDelegator(kgc.Extract(id))}
+}
+
+// ID returns the patient identity.
+func (p *Patient) ID() string { return p.id }
+
+// Delegator exposes the underlying PRE delegator.
+func (p *Patient) Delegator() *core.Delegator { return p.delegator }
+
+// AddRecord encrypts a record body under the given category and stores it.
+func (p *Patient) AddRecord(store *Store, c Category, body []byte, rng io.Reader) (*EncryptedRecord, error) {
+	sealed, err := hybrid.Encrypt(p.delegator, body, c, rng)
+	if err != nil {
+		return nil, fmt.Errorf("phr: add record: %w", err)
+	}
+	p.mu.Lock()
+	n := p.nextRec
+	p.nextRec++
+	p.mu.Unlock()
+
+	rec := &EncryptedRecord{
+		ID:        recordID(p.id, n),
+		PatientID: p.id,
+		Category:  c,
+		CreatedAt: time.Now(),
+		Sealed:    sealed,
+	}
+	if err := store.Put(rec); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// ReadOwn decrypts one of the patient's own records.
+func (p *Patient) ReadOwn(store *Store, recordID string) ([]byte, error) {
+	rec, err := store.Get(recordID)
+	if err != nil {
+		return nil, err
+	}
+	if rec.PatientID != p.id {
+		return nil, fmt.Errorf("phr: record %s does not belong to %s", recordID, p.id)
+	}
+	return hybrid.Decrypt(p.delegator, rec.Sealed)
+}
+
+// Grant creates a per-category re-encryption key toward a requester
+// registered at requesterKGC and installs it at the proxy. One call per
+// (category, requester); the patient's key pair never changes.
+func (p *Patient) Grant(proxy *Proxy, requesterParams *ibe.Params, requesterID string, c Category, rng io.Reader) error {
+	rk, err := p.delegator.Delegate(requesterParams, requesterID, c, rng)
+	if err != nil {
+		return fmt.Errorf("phr: grant: %w", err)
+	}
+	return proxy.Install(rk)
+}
+
+// Revoke removes a previously installed grant from the proxy.
+func (p *Patient) Revoke(proxy *Proxy, requesterID string, c Category) error {
+	return proxy.Revoke(p.id, c, requesterID)
+}

@@ -1,0 +1,156 @@
+package phr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"typepre/internal/core"
+	"typepre/internal/hybrid"
+)
+
+// Proxy errors.
+var (
+	ErrNoGrant = errors.New("phr: no re-encryption grant for this request")
+)
+
+// grantKey identifies one installed delegation.
+type grantKey struct {
+	patient   string
+	category  Category
+	requester string
+}
+
+// Proxy is a re-encryption proxy server (§5: the patient picks one proxy
+// per category "according to trust"). It holds the re-encryption keys
+// installed by patients and transforms sealed records on request. It never
+// sees plaintext: a proxy key lets it re-encrypt, not decrypt.
+type Proxy struct {
+	name  string
+	audit *AuditLog
+
+	mu     sync.RWMutex
+	grants map[grantKey]*core.ReKey
+}
+
+// NewProxy creates a proxy with its own audit log.
+func NewProxy(name string) *Proxy {
+	return &Proxy{name: name, audit: NewAuditLog(), grants: map[grantKey]*core.ReKey{}}
+}
+
+// Name returns the proxy's deployment name.
+func (p *Proxy) Name() string { return p.name }
+
+// Audit exposes the proxy's audit log.
+func (p *Proxy) Audit() *AuditLog { return p.audit }
+
+// Install registers a re-encryption grant. The rekey's own metadata
+// determines the (patient, category, requester) triple, so a mislabeled
+// installation is impossible.
+func (p *Proxy) Install(rk *core.ReKey) error {
+	if rk == nil || rk.RK == nil {
+		return fmt.Errorf("phr: invalid rekey")
+	}
+	k := grantKey{rk.DelegatorID, rk.Type, rk.DelegateeID}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.grants[k] = rk
+	return nil
+}
+
+// Revoke removes a grant. Returns ErrNoGrant when absent.
+func (p *Proxy) Revoke(patientID string, c Category, requester string) error {
+	k := grantKey{patientID, c, requester}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.grants[k]; !ok {
+		return ErrNoGrant
+	}
+	delete(p.grants, k)
+	return nil
+}
+
+// GrantCount returns the number of installed grants.
+func (p *Proxy) GrantCount() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.grants)
+}
+
+// lookup finds the grant for a request.
+func (p *Proxy) lookup(patientID string, c Category, requester string) (*core.ReKey, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	rk, ok := p.grants[grantKey{patientID, c, requester}]
+	return rk, ok
+}
+
+// Disclose fetches a record from the store and re-encrypts it toward the
+// requester, enforcing the grant table and writing an audit entry either
+// way. This is the §5 on-demand disclosure path.
+func (p *Proxy) Disclose(store *Store, recordID, requester string) (*hybrid.ReCiphertext, error) {
+	rec, err := store.Get(recordID)
+	if err != nil {
+		p.audit.Append(AuditEntry{
+			Proxy: p.name, RecordID: recordID, Requester: requester,
+			Outcome: OutcomeNotFound,
+		})
+		return nil, err
+	}
+	rk, ok := p.lookup(rec.PatientID, rec.Category, requester)
+	if !ok {
+		p.audit.Append(AuditEntry{
+			Proxy: p.name, PatientID: rec.PatientID, RecordID: recordID,
+			Category: rec.Category, Requester: requester, Outcome: OutcomeNoGrant,
+		})
+		return nil, fmt.Errorf("%w: %s/%s for %s", ErrNoGrant, rec.PatientID, rec.Category, requester)
+	}
+	rct, err := hybrid.ReEncrypt(rec.Sealed, rk)
+	if err != nil {
+		p.audit.Append(AuditEntry{
+			Proxy: p.name, PatientID: rec.PatientID, RecordID: recordID,
+			Category: rec.Category, Requester: requester, Outcome: OutcomeError,
+		})
+		return nil, err
+	}
+	p.audit.Append(AuditEntry{
+		Proxy: p.name, PatientID: rec.PatientID, RecordID: recordID,
+		Category: rec.Category, Requester: requester, Outcome: OutcomeGranted,
+	})
+	return rct, nil
+}
+
+// DiscloseCategory re-encrypts every record of (patient, category) toward
+// the requester — the bulk path used in emergencies (§5: "the PHR data can
+// be disclosed on demand by the proxy").
+func (p *Proxy) DiscloseCategory(store *Store, patientID string, c Category, requester string) ([]*hybrid.ReCiphertext, error) {
+	if _, ok := p.lookup(patientID, c, requester); !ok {
+		p.audit.Append(AuditEntry{
+			Proxy: p.name, PatientID: patientID, Category: c,
+			Requester: requester, Outcome: OutcomeNoGrant,
+		})
+		return nil, fmt.Errorf("%w: %s/%s for %s", ErrNoGrant, patientID, c, requester)
+	}
+	recs := store.ListByPatientCategory(patientID, c)
+	out := make([]*hybrid.ReCiphertext, 0, len(recs))
+	for _, rec := range recs {
+		rct, err := p.Disclose(store, rec.ID, requester)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rct)
+	}
+	return out, nil
+}
+
+// CompromisedGrants models a corrupted proxy: the attacker walks away with
+// every installed rekey. Used by the E6 blast-radius experiment.
+func (p *Proxy) CompromisedGrants() []*core.ReKey {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]*core.ReKey, 0, len(p.grants))
+	for _, rk := range p.grants {
+		out = append(out, rk)
+	}
+	return out
+}

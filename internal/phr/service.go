@@ -1,0 +1,121 @@
+package phr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"typepre/internal/hybrid"
+	"typepre/internal/ibe"
+)
+
+// Service errors.
+var (
+	ErrNoProxy = errors.New("phr: no proxy deployed for this category")
+)
+
+// Service is the complete §5 deployment: one semi-trusted store, one proxy
+// per category (the paper's recommended topology — compromise of one proxy
+// must not cross category boundaries), and the KGC2 domain requesters are
+// registered at.
+type Service struct {
+	Store *Store
+
+	mu      sync.RWMutex
+	proxies map[Category]*Proxy
+}
+
+// NewService creates a service with one dedicated proxy per category.
+func NewService(categories []Category) *Service {
+	s := &Service{Store: NewStore(), proxies: map[Category]*Proxy{}}
+	for _, c := range categories {
+		s.proxies[c] = NewProxy("proxy-" + string(c))
+	}
+	return s
+}
+
+// ProxyFor returns the proxy serving a category.
+func (s *Service) ProxyFor(c Category) (*Proxy, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.proxies[c]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoProxy, c)
+	}
+	return p, nil
+}
+
+// DeployProxy installs (or replaces) the proxy for a category — §5's
+// dynamic scenario where Alice, traveling to the US, stands up a local
+// emergency proxy.
+func (s *Service) DeployProxy(c Category, p *Proxy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.proxies[c] = p
+}
+
+// Proxies returns the deployed proxies keyed by category (copy).
+func (s *Service) Proxies() map[Category]*Proxy {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[Category]*Proxy, len(s.proxies))
+	for c, p := range s.proxies {
+		out[c] = p
+	}
+	return out
+}
+
+// Grant routes a patient's delegation to the category's proxy.
+func (s *Service) Grant(p *Patient, requesterParams *ibe.Params, requesterID string, c Category) error {
+	proxy, err := s.ProxyFor(c)
+	if err != nil {
+		return err
+	}
+	return p.Grant(proxy, requesterParams, requesterID, c, nil)
+}
+
+// Request performs the full disclosure flow for one record: route to the
+// category proxy, re-encrypt, and return the transformed ciphertext. The
+// requester decrypts locally with their own key (the service never holds
+// requester keys).
+func (s *Service) Request(recordID, requesterID string) (*hybrid.ReCiphertext, error) {
+	rec, err := s.Store.Get(recordID)
+	if err != nil {
+		return nil, err
+	}
+	proxy, err := s.ProxyFor(rec.Category)
+	if err != nil {
+		return nil, err
+	}
+	return proxy.Disclose(s.Store, recordID, requesterID)
+}
+
+// Read is the requester-side convenience wrapper: request + decrypt.
+func (s *Service) Read(recordID string, requester *ibe.PrivateKey) ([]byte, error) {
+	rct, err := s.Request(recordID, requester.ID)
+	if err != nil {
+		return nil, err
+	}
+	return hybrid.DecryptReEncrypted(requester, rct)
+}
+
+// ReadCategory requests and decrypts every record of (patient, category).
+func (s *Service) ReadCategory(patientID string, c Category, requester *ibe.PrivateKey) ([][]byte, error) {
+	proxy, err := s.ProxyFor(c)
+	if err != nil {
+		return nil, err
+	}
+	rcts, err := proxy.DiscloseCategory(s.Store, patientID, c, requester.ID)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, 0, len(rcts))
+	for _, rct := range rcts {
+		body, err := hybrid.DecryptReEncrypted(requester, rct)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, body)
+	}
+	return out, nil
+}

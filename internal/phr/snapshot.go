@@ -1,0 +1,161 @@
+package phr
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"typepre/internal/hybrid"
+)
+
+// Store snapshots: a length-prefixed binary container holding every
+// record (metadata + sealed body). The snapshot contains only what the
+// semi-trusted store already sees — ciphertexts and routing metadata — so
+// persisting it needs no additional trust.
+
+// snapshotMagic guards against feeding arbitrary files to RestoreStore.
+var snapshotMagic = [8]byte{'t', 'p', 'r', 'e', 's', 'n', 'a', 'p'}
+
+// snapshotVersion is bumped on incompatible format changes.
+const snapshotVersion uint32 = 1
+
+// ErrSnapshot is returned for malformed snapshot data.
+var ErrSnapshot = errors.New("phr: invalid snapshot")
+
+func writeChunk(w io.Writer, chunk []byte) error {
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(chunk)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(chunk)
+	return err
+}
+
+func readChunkFrom(r io.Reader) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > 1<<30 {
+		return nil, fmt.Errorf("%w: chunk of %d bytes", ErrSnapshot, n)
+	}
+	chunk := make([]byte, n)
+	if _, err := io.ReadFull(r, chunk); err != nil {
+		return nil, err
+	}
+	return chunk, nil
+}
+
+// Snapshot writes every record to w in insertion-independent, ID-sorted
+// order (deterministic output for identical contents).
+func (s *Store) Snapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return err
+	}
+	var verBuf [4]byte
+	binary.BigEndian.PutUint32(verBuf[:], snapshotVersion)
+	if _, err := bw.Write(verBuf[:]); err != nil {
+		return err
+	}
+
+	// Collect all records patient by patient (Patients() is sorted, and
+	// per-patient lists preserve insertion order).
+	var records []*EncryptedRecord
+	for _, p := range s.Patients() {
+		records = append(records, s.ListByPatient(p)...)
+	}
+	var cntBuf [4]byte
+	binary.BigEndian.PutUint32(cntBuf[:], uint32(len(records)))
+	if _, err := bw.Write(cntBuf[:]); err != nil {
+		return err
+	}
+	for _, rec := range records {
+		if err := writeChunk(bw, []byte(rec.ID)); err != nil {
+			return err
+		}
+		if err := writeChunk(bw, []byte(rec.PatientID)); err != nil {
+			return err
+		}
+		if err := writeChunk(bw, []byte(rec.Category)); err != nil {
+			return err
+		}
+		var tsBuf [8]byte
+		binary.BigEndian.PutUint64(tsBuf[:], uint64(rec.CreatedAt.UnixNano()))
+		if _, err := bw.Write(tsBuf[:]); err != nil {
+			return err
+		}
+		if err := writeChunk(bw, rec.Sealed.Marshal()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// RestoreStore reads a snapshot produced by Snapshot into a fresh store.
+func RestoreStore(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshot, err)
+	}
+	if magic != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrSnapshot)
+	}
+	var verBuf [4]byte
+	if _, err := io.ReadFull(br, verBuf[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshot, err)
+	}
+	if v := binary.BigEndian.Uint32(verBuf[:]); v != snapshotVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrSnapshot, v)
+	}
+	var cntBuf [4]byte
+	if _, err := io.ReadFull(br, cntBuf[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshot, err)
+	}
+	count := binary.BigEndian.Uint32(cntBuf[:])
+
+	store := NewStore()
+	for i := uint32(0); i < count; i++ {
+		id, err := readChunkFrom(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: record %d id: %v", ErrSnapshot, i, err)
+		}
+		patient, err := readChunkFrom(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: record %d patient: %v", ErrSnapshot, i, err)
+		}
+		category, err := readChunkFrom(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: record %d category: %v", ErrSnapshot, i, err)
+		}
+		var tsBuf [8]byte
+		if _, err := io.ReadFull(br, tsBuf[:]); err != nil {
+			return nil, fmt.Errorf("%w: record %d timestamp: %v", ErrSnapshot, i, err)
+		}
+		sealedBytes, err := readChunkFrom(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: record %d body: %v", ErrSnapshot, i, err)
+		}
+		sealed, err := hybrid.UnmarshalCiphertext(sealedBytes)
+		if err != nil {
+			return nil, fmt.Errorf("%w: record %d ciphertext: %v", ErrSnapshot, i, err)
+		}
+		rec := &EncryptedRecord{
+			ID:        string(id),
+			PatientID: string(patient),
+			Category:  Category(category),
+			CreatedAt: time.Unix(0, int64(binary.BigEndian.Uint64(tsBuf[:]))),
+			Sealed:    sealed,
+		}
+		if err := store.Put(rec); err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrSnapshot, i, err)
+		}
+	}
+	return store, nil
+}

@@ -1,0 +1,101 @@
+package phr
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := newScenario(t)
+	bodies := map[string][]byte{}
+	for i, cat := range []Category{CategoryIllnessHistory, CategoryEmergency, CategoryMedication} {
+		body := []byte{byte(i), byte(i + 1), byte(i + 2)}
+		rec, err := s.alice.AddRecord(s.svc.Store, cat, body, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies[rec.ID] = body
+	}
+
+	var buf bytes.Buffer
+	if err := s.svc.Store.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreStore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Count() != s.svc.Store.Count() {
+		t.Fatalf("restored %d records, want %d", restored.Count(), s.svc.Store.Count())
+	}
+	// Every restored record must decrypt to the original body.
+	for id, want := range bodies {
+		got, err := s.alice.ReadOwn(restored, id)
+		if err != nil {
+			t.Fatalf("record %s: %v", id, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %s body mismatch after restore", id)
+		}
+	}
+	// Indexes rebuilt.
+	if len(restored.Categories("alice@phr.example")) != 3 {
+		t.Fatal("categories index not rebuilt")
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	s := newScenario(t)
+	if _, err := s.alice.AddRecord(s.svc.Store, CategoryEmergency, []byte("x"), nil); err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 bytes.Buffer
+	if err := s.svc.Store.Snapshot(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.svc.Store.Snapshot(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("two snapshots of the same store differ")
+	}
+}
+
+func TestSnapshotEmptyStore(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewStore().Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreStore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Count() != 0 {
+		t.Fatal("empty snapshot restored non-empty store")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	if _, err := RestoreStore(bytes.NewReader([]byte("not a snapshot at all"))); !errors.Is(err, ErrSnapshot) {
+		t.Fatalf("want ErrSnapshot, got %v", err)
+	}
+	// Correct magic, bad version.
+	bad := append(append([]byte{}, snapshotMagic[:]...), 0xff, 0xff, 0xff, 0xff)
+	if _, err := RestoreStore(bytes.NewReader(bad)); !errors.Is(err, ErrSnapshot) {
+		t.Fatalf("want ErrSnapshot for bad version, got %v", err)
+	}
+	// Truncated record section.
+	s := newScenario(t)
+	if _, err := s.alice.AddRecord(s.svc.Store, CategoryEmergency, []byte("x"), nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.svc.Store.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-10]
+	if _, err := RestoreStore(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("accepted truncated snapshot")
+	}
+}

@@ -1,0 +1,164 @@
+package phr
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Store errors.
+var (
+	ErrNotFound  = errors.New("phr: record not found")
+	ErrDuplicate = errors.New("phr: duplicate record id")
+)
+
+// patientCategory is the composite secondary-index key.
+type patientCategory struct {
+	patient  string
+	category Category
+}
+
+// Store is an in-memory encrypted-record store with a primary index by
+// record ID and secondary indexes by patient and by (patient, category).
+// It stands in for the semi-trusted database of §5: it sees only sealed
+// bodies and routing metadata. All methods are safe for concurrent use.
+type Store struct {
+	mu        sync.RWMutex
+	byID      map[string]*EncryptedRecord
+	byPatient map[string][]string // patient → record IDs, insertion order
+	byPatCat  map[patientCategory][]string
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		byID:      map[string]*EncryptedRecord{},
+		byPatient: map[string][]string{},
+		byPatCat:  map[patientCategory][]string{},
+	}
+}
+
+// Put inserts a record. It fails with ErrDuplicate if the ID exists.
+func (s *Store) Put(r *EncryptedRecord) error {
+	if r == nil || r.ID == "" {
+		return fmt.Errorf("phr: invalid record")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byID[r.ID]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicate, r.ID)
+	}
+	cp := r.Clone()
+	s.byID[cp.ID] = cp
+	s.byPatient[cp.PatientID] = append(s.byPatient[cp.PatientID], cp.ID)
+	key := patientCategory{cp.PatientID, cp.Category}
+	s.byPatCat[key] = append(s.byPatCat[key], cp.ID)
+	return nil
+}
+
+// Get fetches a record by ID.
+func (s *Store) Get(id string) (*EncryptedRecord, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return r.Clone(), nil
+}
+
+// Delete removes a record by ID.
+func (s *Store) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	delete(s.byID, id)
+	s.byPatient[r.PatientID] = removeString(s.byPatient[r.PatientID], id)
+	key := patientCategory{r.PatientID, r.Category}
+	s.byPatCat[key] = removeString(s.byPatCat[key], id)
+	return nil
+}
+
+func removeString(xs []string, x string) []string {
+	for i, v := range xs {
+		if v == x {
+			return append(xs[:i], xs[i+1:]...)
+		}
+	}
+	return xs
+}
+
+// ListByPatient returns all records of a patient in insertion order.
+func (s *Store) ListByPatient(patientID string) []*EncryptedRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := s.byPatient[patientID]
+	out := make([]*EncryptedRecord, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, s.byID[id].Clone())
+	}
+	return out
+}
+
+// ListByPatientCategory returns a patient's records of one category in
+// insertion order — the secondary-index read path proxies use.
+func (s *Store) ListByPatientCategory(patientID string, c Category) []*EncryptedRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := s.byPatCat[patientCategory{patientID, c}]
+	out := make([]*EncryptedRecord, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, s.byID[id].Clone())
+	}
+	return out
+}
+
+// Count returns the total number of records.
+func (s *Store) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byID)
+}
+
+// CountByPatient returns the number of records of one patient.
+func (s *Store) CountByPatient(patientID string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byPatient[patientID])
+}
+
+// Patients returns the sorted list of patient IDs with at least one record.
+func (s *Store) Patients() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.byPatient))
+	for p, ids := range s.byPatient {
+		if len(ids) > 0 {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Categories returns the sorted distinct categories stored for a patient.
+func (s *Store) Categories(patientID string) []Category {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := map[Category]bool{}
+	for key, ids := range s.byPatCat {
+		if key.patient == patientID && len(ids) > 0 {
+			seen[key.category] = true
+		}
+	}
+	out := make([]Category, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,116 @@
+package typepre_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"typepre"
+)
+
+// TestPublicAPIEndToEnd exercises the whole public surface the way the
+// README quick start does: two domains, delegation, proxy transformation,
+// delegatee decryption, serialization.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	kgc1, err := typepre.Setup("hospital-kgc", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kgc2, err := typepre.Setup("clinic-kgc", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice := typepre.NewDelegator(kgc1.Extract("alice@hospital.example"))
+	bobKey := kgc2.Extract("bob@clinic.example")
+
+	// GT-message path.
+	m, err := typepre.RandomMessage(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := alice.Encrypt(m, "emergency", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk, err := alice.Delegate(kgc2.Params(), "bob@clinic.example", "emergency", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rct, err := typepre.ReEncrypt(ct, rk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := typepre.DecryptReEncrypted(bobKey, rct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("GT-message flow failed")
+	}
+
+	// Byte-payload path.
+	body := []byte("blood type O−; allergies: penicillin")
+	hct, err := typepre.EncryptBytes(alice, body, "emergency", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	own, err := typepre.DecryptBytes(alice, hct)
+	if err != nil || !bytes.Equal(own, body) {
+		t.Fatalf("owner byte decryption failed: %v", err)
+	}
+	hrct, err := typepre.ReEncryptBytes(hct, rk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err := typepre.DecryptBytesReEncrypted(bobKey, hrct)
+	if err != nil || !bytes.Equal(gotBytes, body) {
+		t.Fatalf("delegatee byte decryption failed: %v", err)
+	}
+
+	// Type mismatch surfaces the sentinel error through the facade.
+	ct2, _ := alice.Encrypt(m, "food-statistics", nil)
+	if _, err := typepre.ReEncrypt(ct2, rk); !errors.Is(err, typepre.ErrTypeMismatch) {
+		t.Fatalf("want ErrTypeMismatch, got %v", err)
+	}
+
+	// Serialization through the facade.
+	ct3, err := typepre.UnmarshalCiphertext(ct.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk2, err := typepre.UnmarshalReKey(rk.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rct2, err := typepre.ReEncrypt(ct3, rk2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := typepre.DecryptReEncrypted(bobKey, rct2)
+	if err != nil || !got2.Equal(m) {
+		t.Fatalf("round-tripped artifacts failed: %v", err)
+	}
+	if _, err := typepre.UnmarshalReCiphertext(rct.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	params2, err := typepre.UnmarshalParams(kgc2.Params().Marshal())
+	if err != nil || params2.Name != "clinic-kgc" {
+		t.Fatalf("params round trip failed: %v", err)
+	}
+	if _, err := typepre.UnmarshalPrivateKey(bobKey.Marshal(), params2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Collusion surface.
+	tk, err := typepre.RecoverTypeKey(rk, bobKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm, _ := typepre.DecryptWithTypeKey(tk, ct); !dm.Equal(m) {
+		t.Fatal("type key failed on its own type")
+	}
+
+	if typepre.GroupOrder().Sign() <= 0 {
+		t.Fatal("bad group order")
+	}
+}
