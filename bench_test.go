@@ -161,6 +161,25 @@ func benchFinalExp(b *testing.B, chain bool) {
 	}
 }
 
+// E1 precompute ablation: prepared vs naive pairing, and the one-time
+// preparation cost itself.
+func BenchmarkE1_PairingPrepared(b *testing.B) {
+	p := bn254.G1Generator()
+	prep := bn254.G2GeneratorPrepared()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bn254.PairPrepared(p, prep)
+	}
+}
+
+func BenchmarkE1_PrepareG2(b *testing.B) {
+	q := bn254.G2Generator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bn254.PrepareG2(q)
+	}
+}
+
 func BenchmarkE1_PairProduct2(b *testing.B) {
 	ps := []*bn254.G1{bn254.G1Generator(), bn254.G1Generator()}
 	qs := []*bn254.G2{bn254.G2Generator(), bn254.G2Generator()}
@@ -244,6 +263,58 @@ func BenchmarkE2_ReDecrypt(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.DecryptReEncrypted(e.bobKey, e.rct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E2 precompute ablations: the repeated-use paths the precompute subsystem
+// targets, against their naive counterparts.
+// ---------------------------------------------------------------------------
+
+// BenchmarkE2_Encrypt2_KnownIdentity measures the hot PHR pattern: IBE
+// encryption to an identity whose mask ê(H1(id), pk) is already cached on
+// the KGC parameters (the cache is warmed by the first iteration and by
+// env()'s setup traffic).
+func BenchmarkE2_Encrypt2_KnownIdentity(b *testing.B) {
+	e := env(b)
+	params := e.kgc2.Params()
+	params.EncryptionMask("bob@bench") // warm explicitly
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ibe.Encrypt(params, "bob@bench", e.msg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2_Encrypt2_NaiveMask is the same operation through bare
+// parameters with no precomputation state: every iteration pays the full
+// pairing, as every call site did before the precompute subsystem.
+func BenchmarkE2_Encrypt2_NaiveMask(b *testing.B) {
+	e := env(b)
+	bare := &ibe.Params{Name: "naive", PK: e.kgc2.Params().PK}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ibe.Encrypt(bare, "bob@bench", e.msg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2_Preenc_Prepared measures the proxy's repeat transformation of
+// one sealed record through a prepared rekey: after the first request the
+// pairing adjustment is cached and the transform is pairing-free.
+func BenchmarkE2_Preenc_Prepared(b *testing.B) {
+	e := env(b)
+	prk := core.PrepareReKey(e.rk)
+	if _, err := prk.ReEncrypt(e.ct); err != nil { // warm the adjustment
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prk.ReEncrypt(e.ct); err != nil {
 			b.Fatal(err)
 		}
 	}

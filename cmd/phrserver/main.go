@@ -1,8 +1,9 @@
 // Command phrserver runs the PHR disclosure service over HTTP: the
 // semi-trusted store plus one re-encryption proxy per category, exposed on
-// the API documented in internal/phr/httpapi.go. Patients upload sealed
-// records and install grants; clinicians fetch re-encrypted records they
-// decrypt locally. The server never holds a decryption key.
+// the API documented in docs/httpapi.md (implemented in
+// internal/phr/httpapi.go). Patients upload sealed records and install
+// grants; clinicians fetch re-encrypted records they decrypt locally. The
+// server never holds a decryption key.
 package main
 
 import (

@@ -135,6 +135,9 @@ func e1() {
 
 	row("pairing (optimal ate)", timeOp(func() { bn254.Pair(p, q) }))
 	row("pairing (direct final exp)", timeOp(func() { bn254.PairDirectHardPart(p, q) }))
+	prep := bn254.G2GeneratorPrepared()
+	row("pairing (prepared G2)", timeOp(func() { bn254.PairPrepared(p, prep) }))
+	row("G2 preparation (one-time)", timeOp(func() { bn254.PrepareG2(q) }))
 	row("2-pairing product", timeOp(func() {
 		bn254.PairProduct([]*bn254.G1{p, p}, []*bn254.G2{q, q})
 	}))
@@ -144,6 +147,7 @@ func e1() {
 	row("G2 scalar mult", timeOp(func() { g2.ScalarBaseMult(k) }))
 	var gt bn254.GT
 	row("GT exponentiation", timeOp(func() { gt.Exp(base, k) }))
+	row("GT fixed-base exp", timeOp(func() { bn254.GTExpBase(k) }))
 	i := 0
 	row("hash-to-G1 (try&increment)", timeOp(func() {
 		i++
@@ -180,6 +184,27 @@ func e2() {
 	}))
 	row("Re-decrypt (delegatee)", timeOp(func() {
 		_, err := core.DecryptReEncrypted(f.bobKey, f.rct)
+		check(err)
+	}))
+
+	// Precompute ablations: the repeated-use paths against their naive
+	// counterparts (see internal/bn254/precompute.go).
+	params := f.kgc2.Params()
+	params.EncryptionMask("bob@bench")
+	row("Encrypt2 (cached mask)", timeOp(func() {
+		_, err := ibe.Encrypt(params, "bob@bench", f.msg, nil)
+		check(err)
+	}))
+	bare := &ibe.Params{Name: "naive", PK: params.PK}
+	row("Encrypt2 (naive mask)", timeOp(func() {
+		_, err := ibe.Encrypt(bare, "bob@bench", f.msg, nil)
+		check(err)
+	}))
+	prk := core.PrepareReKey(f.rk)
+	_, err := prk.ReEncrypt(f.ct)
+	check(err)
+	row("Preenc (prepared, repeat)", timeOp(func() {
+		_, err := prk.ReEncrypt(f.ct)
 		check(err)
 	}))
 }

@@ -1,0 +1,3 @@
+module typepre
+
+go 1.24

@@ -185,3 +185,86 @@ func BenchmarkG2Decompress(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkPrepareG2(b *testing.B) {
+	q := G2Generator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PrepareG2(q)
+	}
+}
+
+func BenchmarkPairPrepared(b *testing.B) {
+	p := G1Generator()
+	prep := G2GeneratorPrepared()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PairPrepared(p, prep)
+	}
+}
+
+func BenchmarkPairNaive(b *testing.B) {
+	p := G1Generator()
+	q := G2Generator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Pair(p, q)
+	}
+}
+
+func BenchmarkG1ScalarBaseMultFixed(b *testing.B) {
+	k := benchScalar()
+	var out G1
+	out.ScalarBaseMult(k) // force the table build out of the timed region
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.ScalarBaseMult(k)
+	}
+}
+
+func BenchmarkG1ScalarBaseMultGeneric(b *testing.B) {
+	k := benchScalar()
+	var out G1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.scalarBaseMultGeneric(k)
+	}
+}
+
+func BenchmarkG2ScalarBaseMultFixed(b *testing.B) {
+	k := benchScalar()
+	var out G2
+	out.ScalarBaseMult(k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.ScalarBaseMult(k)
+	}
+}
+
+func BenchmarkG2ScalarBaseMultGeneric(b *testing.B) {
+	k := benchScalar()
+	var out G2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.scalarBaseMultGeneric(k)
+	}
+}
+
+func BenchmarkGTExpBaseFixed(b *testing.B) {
+	k := benchScalar()
+	GTExpBase(k) // force the table build out of the timed region
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GTExpBase(k)
+	}
+}
+
+func BenchmarkGTExpBaseGeneric(b *testing.B) {
+	k := benchScalar()
+	base := GTBase()
+	var out GT
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.Exp(base, k)
+	}
+}

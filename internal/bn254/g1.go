@@ -172,7 +172,15 @@ func (p *G1) scalarMultAffine(a *G1, k *big.Int) *G1 {
 }
 
 // ScalarBaseMult sets p = k·G where G is the fixed generator, and returns p.
+// It runs on the lazily built fixed-base window table (see precompute.go);
+// scalarBaseMultGeneric is the property-tested reference path.
 func (p *G1) ScalarBaseMult(k *big.Int) *G1 {
+	return g1GeneratorTable().mul(p, k)
+}
+
+// scalarBaseMultGeneric computes k·G through the generic ladder, without
+// the fixed-base table. Reference implementation for tests and benchmarks.
+func (p *G1) scalarBaseMultGeneric(k *big.Int) *G1 {
 	return p.ScalarMult(&g1Gen, k)
 }
 

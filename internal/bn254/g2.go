@@ -203,7 +203,15 @@ func (p *G2) scalarMultAffine(a *G2, k *big.Int) *G2 {
 }
 
 // ScalarBaseMult sets p = k·G where G is the fixed generator, and returns p.
+// It runs on the lazily built fixed-base window table (see precompute.go);
+// scalarBaseMultGeneric is the property-tested reference path.
 func (p *G2) ScalarBaseMult(k *big.Int) *G2 {
+	return g2GeneratorTable().mul(p, k)
+}
+
+// scalarBaseMultGeneric computes k·G through the generic ladder, without
+// the fixed-base table. Reference implementation for tests and benchmarks.
+func (p *G2) scalarBaseMultGeneric(k *big.Int) *G2 {
 	return p.ScalarMult(&g2Gen, k)
 }
 

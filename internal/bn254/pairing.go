@@ -5,51 +5,78 @@ import (
 	"sync"
 )
 
-// lineEval evaluates the line through ψ(T) and ψ(S) (or the tangent at ψ(T)
-// when doubling) at the G1 point P, where ψ is the untwisting isomorphism
-// ψ(x', y') = (x'·ω², y'·ω³). With slope λ' ∈ Fp2 on the twist, the line is
+// lineCoeff holds the P-independent coefficients of one Miller-loop line.
+// The line through ψ(T) and ψ(S) (or the tangent at ψ(T) when doubling),
+// where ψ is the untwisting isomorphism ψ(x', y') = (x'·ω², y'·ω³), is
 //
 //	l(P) = y_P − λ'·x_P·ω + (λ'·x_T − y_T)·ω³
 //
-// which in the Fp12 = Fp6[ω], Fp6 = Fp2[τ] tower (ω³ = τ·ω) is the sparse
-// element with c0 = (y_P, 0, 0) and c1 = (−λ'x_P, λ'x_T − y_T, 0).
-func lineEval(out *fp12, lambda *fp2, xT, yT *fp2, P *G1) {
-	var b, c fp2
-	b.MulScalar(lambda, &P.x)
-	b.Neg(&b)
-	c.Mul(lambda, xT)
-	c.Sub(&c, yT)
-
-	out.c0.c0.c0.Set(&P.y)
-	out.c0.c0.c1.SetInt64(0)
-	out.c0.c1.SetZero()
-	out.c0.c2.SetZero()
-	out.c1.c0.Set(&b)
-	out.c1.c1.Set(&c)
-	out.c1.c2.SetZero()
+// with slope λ' ∈ Fp2 on the twist, which in the Fp12 = Fp6[ω],
+// Fp6 = Fp2[τ] tower (ω³ = τ·ω) is the sparse element with
+// c0 = (y_P, 0, 0) and c1 = (−λ'x_P, λ'x_T − y_T, 0). Everything except the
+// two P-coordinate multiplications depends only on T and S, so a fixed Q's
+// whole line sequence can be computed once (see PreparedG2) and replayed
+// against many P's.
+//
+// A vertical line X = x_T·ω² evaluates to l(P) = x_P − x_T·τ, i.e.
+// c0 = (x_P, −x_T, 0), c1 = 0; it stores −x_T in c and leaves lambda unused.
+type lineCoeff struct {
+	vertical bool
+	lambda   fp2 // slope λ' (non-vertical lines only)
+	c        fp2 // λ'·x_T − y_T, or −x_T for verticals
 }
 
-// verticalEval evaluates the vertical line X = x_T·ω² at P:
-// l(P) = x_P − x_T·τ, i.e. c0 = (x_P, −x_T, 0), c1 = 0.
-func verticalEval(out *fp12, xT *fp2, P *G1) {
-	out.c0.c0.c0.Set(&P.x)
-	out.c0.c0.c1.SetInt64(0)
-	out.c0.c1.Neg(xT)
-	out.c0.c2.SetZero()
-	out.c1.SetZero()
+// setLine fills lc with the coefficients of the non-vertical line of slope
+// lambda through (xT, yT).
+func (lc *lineCoeff) setLine(lambda, xT, yT *fp2) {
+	lc.vertical = false
+	lc.lambda.Set(lambda)
+	lc.c.Mul(lambda, xT)
+	lc.c.Sub(&lc.c, yT)
 }
 
-// doubleStep computes the tangent line at T evaluated at P and doubles T in
-// place.
-func doubleStep(f *fp12, T *G2, P *G1) {
+// setVertical fills lc with the coefficients of the vertical line X = x_T·ω².
+func (lc *lineCoeff) setVertical(xT *fp2) {
+	lc.vertical = true
+	lc.c.Neg(xT)
+}
+
+// evalLine multiplies f by the line described by lc evaluated at P.
+func evalLine(f *fp12, lc *lineCoeff, P *G1) {
+	var l fp12
+	if lc.vertical {
+		l.c0.c0.c0.Set(&P.x)
+		l.c0.c0.c1.SetInt64(0)
+		l.c0.c1.Set(&lc.c)
+		l.c0.c2.SetZero()
+		l.c1.SetZero()
+	} else {
+		var b fp2
+		b.MulScalar(&lc.lambda, &P.x)
+		b.Neg(&b)
+		l.c0.c0.c0.Set(&P.y)
+		l.c0.c0.c1.SetInt64(0)
+		l.c0.c1.SetZero()
+		l.c0.c2.SetZero()
+		l.c1.c0.Set(&b)
+		l.c1.c1.Set(&lc.c)
+		l.c1.c2.SetZero()
+	}
+	f.Mul(f, &l)
+}
+
+// doubleCoeff computes the tangent-line coefficients at T and doubles T in
+// place. It reports false when no line is contributed (T at infinity).
+func doubleCoeff(lc *lineCoeff, T *G2) bool {
+	if T.inf {
+		return false
+	}
 	if T.y.IsZero() {
 		// Tangent at a 2-torsion point is vertical; cannot happen for
 		// points in the order-r subgroup but handled for robustness.
-		var l fp12
-		verticalEval(&l, &T.x, P)
-		f.Mul(f, &l)
+		lc.setVertical(&T.x)
 		T.inf = true
-		return
+		return true
 	}
 	var lambda, t fp2
 	lambda.Square(&T.x)
@@ -60,9 +87,7 @@ func doubleStep(f *fp12, T *G2, P *G1) {
 	t.Inverse(&t)
 	lambda.Mul(&lambda, &t)
 
-	var l fp12
-	lineEval(&l, &lambda, &T.x, &T.y, P)
-	f.Mul(f, &l)
+	lc.setLine(&lambda, &T.x, &T.y)
 
 	// T = 2T using the already computed slope.
 	var x3, y3 fp2
@@ -74,29 +99,28 @@ func doubleStep(f *fp12, T *G2, P *G1) {
 	y3.Sub(&y3, &T.y)
 	T.x.Set(&x3)
 	T.y.Set(&y3)
+	return true
 }
 
-// addStep computes the line through T and Q evaluated at P and sets
-// T = T + Q in place.
-func addStep(f *fp12, T *G2, Q *G2, P *G1) {
+// addCoeff computes the coefficients of the line through T and Q and sets
+// T = T + Q in place. It reports false when no line is contributed (Q at
+// infinity, or T at infinity so that the step is a plain assignment).
+func addCoeff(lc *lineCoeff, T *G2, Q *G2) bool {
 	if Q.inf {
-		return
+		return false
 	}
 	if T.inf {
 		T.Set(Q)
-		return
+		return false
 	}
 	if T.x.Equal(&Q.x) {
 		if T.y.Equal(&Q.y) {
-			doubleStep(f, T, P)
-			return
+			return doubleCoeff(lc, T)
 		}
 		// T + (−T): vertical line.
-		var l fp12
-		verticalEval(&l, &T.x, P)
-		f.Mul(f, &l)
+		lc.setVertical(&T.x)
 		T.inf = true
-		return
+		return true
 	}
 	var lambda, t fp2
 	lambda.Sub(&Q.y, &T.y)
@@ -104,9 +128,7 @@ func addStep(f *fp12, T *G2, Q *G2, P *G1) {
 	t.Inverse(&t)
 	lambda.Mul(&lambda, &t)
 
-	var l fp12
-	lineEval(&l, &lambda, &T.x, &T.y, P)
-	f.Mul(f, &l)
+	lc.setLine(&lambda, &T.x, &T.y)
 
 	var x3, y3 fp2
 	x3.Square(&lambda)
@@ -117,24 +139,29 @@ func addStep(f *fp12, T *G2, Q *G2, P *G1) {
 	y3.Sub(&y3, &T.y)
 	T.x.Set(&x3)
 	T.y.Set(&y3)
+	return true
 }
 
-// millerLoop computes the optimal ate Miller function f_{6u+2,Q}(P) extended
-// with the two Frobenius line steps.
-func millerLoop(P *G1, Q *G2) *fp12 {
-	var f fp12
-	f.SetOne()
-	if P.inf || Q.inf {
-		return &f
-	}
-
+// ateLoop walks the optimal ate Miller-loop skeleton for Q — the 6u+2
+// double-and-add ladder followed by the two Frobenius line steps — and
+// reports each step to emit: squarings as (true, nil) and lines as
+// (false, lc). The lc pointer refers to scratch that is overwritten by the
+// next step; consumers that retain it must copy. This single driver is
+// shared by the direct evaluation (millerLoop) and the coefficient
+// recording (PrepareG2), so the skeleton cannot diverge between them.
+func ateLoop(Q *G2, emit func(square bool, lc *lineCoeff)) {
 	var T G2
 	T.Set(Q)
+	var lc lineCoeff
 	for i := ateLoopCount.BitLen() - 2; i >= 0; i-- {
-		f.Square(&f)
-		doubleStep(&f, &T, P)
+		emit(true, nil)
+		if doubleCoeff(&lc, &T) {
+			emit(false, &lc)
+		}
 		if ateLoopCount.Bit(i) == 1 {
-			addStep(&f, &T, Q, P)
+			if addCoeff(&lc, &T, Q) {
+				emit(false, &lc)
+			}
 		}
 	}
 
@@ -145,8 +172,29 @@ func millerLoop(P *G1, Q *G2) *fp12 {
 	Q2.frobeniusTwist(&Q1)
 	minusQ2.Neg(&Q2)
 
-	addStep(&f, &T, &Q1, P)
-	addStep(&f, &T, &minusQ2, P)
+	if addCoeff(&lc, &T, &Q1) {
+		emit(false, &lc)
+	}
+	if addCoeff(&lc, &T, &minusQ2) {
+		emit(false, &lc)
+	}
+}
+
+// millerLoop computes the optimal ate Miller function f_{6u+2,Q}(P) extended
+// with the two Frobenius line steps.
+func millerLoop(P *G1, Q *G2) *fp12 {
+	var f fp12
+	f.SetOne()
+	if P.inf || Q.inf {
+		return &f
+	}
+	ateLoop(Q, func(square bool, lc *lineCoeff) {
+		if square {
+			f.Square(&f)
+		} else {
+			evalLine(&f, lc, P)
+		}
+	})
 	return &f
 }
 
@@ -304,9 +352,11 @@ func GTBase() *GT {
 	return &g
 }
 
-// GTExpBase returns ê(G1gen, G2gen)^k.
+// GTExpBase returns ê(G1gen, G2gen)^k. It runs on the lazily built
+// fixed-base window table (see precompute.go), which replaces the generic
+// square-and-multiply with at most 64 multiplications.
 func GTExpBase(k *big.Int) *GT {
 	var g GT
-	g.Exp(GTBase(), k)
+	gtBaseFixedTable().exp(&g.v, k)
 	return &g
 }

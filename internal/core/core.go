@@ -55,8 +55,9 @@ type Delegator struct {
 
 // NewDelegator builds a Delegator from an extracted KGC1 private key.
 func NewDelegator(key *ibe.PrivateKey) *Delegator {
-	// ê(pk_id, pk₁) = ê(H1(id)^α, g₂) = ê(sk_id, g₂).
-	base := bn254.Pair(key.SK, bn254.G2Generator())
+	// ê(pk_id, pk₁) = ê(H1(id)^α, g₂) = ê(sk_id, g₂), computed against the
+	// prepared form of the fixed generator.
+	base := bn254.PairPrepared(key.SK, bn254.G2GeneratorPrepared())
 	return &Delegator{key: key, base: base}
 }
 
@@ -187,17 +188,21 @@ type ReCiphertext struct {
 	EncX        *ibe.Ciphertext
 }
 
-// ReEncrypt is the proxy's transformation (the paper's Preenc). It fails
-// with ErrTypeMismatch when the proxy key was extracted for a different
-// type: the proxy cannot widen its own delegation.
-func ReEncrypt(ct *Ciphertext, rk *ReKey) (*ReCiphertext, error) {
+// validateReEncrypt checks the inputs shared by the plain and prepared
+// transformation paths.
+func validateReEncrypt(ct *Ciphertext, rk *ReKey) error {
 	if ct == nil || rk == nil || ct.C1 == nil || ct.C2 == nil || rk.RK == nil {
-		return nil, ErrDecrypt
+		return ErrDecrypt
 	}
 	if ct.Type != rk.Type {
-		return nil, fmt.Errorf("%w: ciphertext %q, proxy key %q", ErrTypeMismatch, ct.Type, rk.Type)
+		return fmt.Errorf("%w: ciphertext %q, proxy key %q", ErrTypeMismatch, ct.Type, rk.Type)
 	}
-	adj := bn254.Pair(rk.RK, ct.C1) // ê(sk^(−h)·H1(X), g₂^r)
+	return nil
+}
+
+// reEncryptWithAdjustment assembles the transformed ciphertext from the
+// adjustment adj = ê(rk, c1), however the caller obtained it.
+func reEncryptWithAdjustment(ct *Ciphertext, rk *ReKey, adj *bn254.GT) *ReCiphertext {
 	var c2 bn254.GT
 	c2.Mul(ct.C2, adj) // = m · ê(g₂^r, H1(X))
 
@@ -210,7 +215,18 @@ func ReEncrypt(ct *Ciphertext, rk *ReKey) (*ReCiphertext, error) {
 		DelegatorID: rk.DelegatorID,
 		DelegateeID: rk.DelegateeID,
 		EncX:        rk.EncX,
-	}, nil
+	}
+}
+
+// ReEncrypt is the proxy's transformation (the paper's Preenc). It fails
+// with ErrTypeMismatch when the proxy key was extracted for a different
+// type: the proxy cannot widen its own delegation.
+func ReEncrypt(ct *Ciphertext, rk *ReKey) (*ReCiphertext, error) {
+	if err := validateReEncrypt(ct, rk); err != nil {
+		return nil, err
+	}
+	adj := bn254.Pair(rk.RK, ct.C1) // ê(sk^(−h)·H1(X), g₂^r)
+	return reEncryptWithAdjustment(ct, rk, adj), nil
 }
 
 // DecryptReEncrypted opens a re-encrypted ciphertext with the delegatee's

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"typepre/internal/bn254"
+	"typepre/internal/ibe"
+)
+
+// TestPreparedReKeyMatchesReEncrypt pins the prepared transformation to the
+// plain one: identical outputs on first use and on cache hits.
+func TestPreparedReKeyMatchesReEncrypt(t *testing.T) {
+	kgc1, err := ibe.Setup("prk-kgc1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kgc2, err := ibe.Setup("prk-kgc2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice := NewDelegator(kgc1.Extract("alice@prk"))
+	bobKey := kgc2.Extract("bob@prk")
+
+	m, _, err := bn254.RandomGT(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk, err := alice.Delegate(kgc2.Params(), "bob@prk", "t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prk := PrepareReKey(rk)
+	if prk.ReKey() != rk {
+		t.Fatal("PreparedReKey does not expose the wrapped rekey")
+	}
+
+	for i := 0; i < 3; i++ {
+		ct, err := alice.Encrypt(m, "t", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ReEncrypt(ct, rk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 2; rep++ { // second pass exercises the cache hit
+			got, err := prk.ReEncrypt(ct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.C1.Equal(want.C1) || !got.C2.Equal(want.C2) || got.Type != want.Type {
+				t.Fatalf("ct %d rep %d: prepared re-encryption differs from plain", i, rep)
+			}
+			dec, err := DecryptReEncrypted(bobKey, got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !dec.Equal(m) {
+				t.Fatalf("ct %d rep %d: delegatee decryption failed", i, rep)
+			}
+		}
+	}
+}
+
+// TestPreparedReKeyTypeMismatch keeps the type-enforcement behavior of the
+// plain path.
+func TestPreparedReKeyTypeMismatch(t *testing.T) {
+	kgc1, err := ibe.Setup("prk-mm-kgc1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kgc2, err := ibe.Setup("prk-mm-kgc2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice := NewDelegator(kgc1.Extract("alice@mm"))
+	m, _, err := bn254.RandomGT(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := alice.Encrypt(m, "type-a", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk, err := alice.Delegate(kgc2.Params(), "bob@mm", "type-b", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PrepareReKey(rk).ReEncrypt(ct); !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("got %v, want ErrTypeMismatch", err)
+	}
+	if _, err := PrepareReKey(rk).ReEncrypt(nil); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("got %v, want ErrDecrypt", err)
+	}
+}

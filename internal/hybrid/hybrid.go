@@ -129,13 +129,13 @@ func Decrypt(d *core.Delegator, ct *Ciphertext) ([]byte, error) {
 	return openPayload(k, aad(ct.KEM.Type, ct.KEM.C1), ct.Nonce, ct.Payload)
 }
 
-// ReEncrypt transforms the KEM with the proxy key; the sealed payload is
-// copied verbatim. Cost is independent of len(Payload).
-func ReEncrypt(ct *Ciphertext, rk *core.ReKey) (*ReCiphertext, error) {
+// reEncryptKEM transforms the KEM through the given function and copies
+// the sealed payload verbatim.
+func reEncryptKEM(ct *Ciphertext, transform func(*core.Ciphertext) (*core.ReCiphertext, error)) (*ReCiphertext, error) {
 	if ct == nil || ct.KEM == nil {
 		return nil, ErrDecrypt
 	}
-	kem, err := core.ReEncrypt(ct.KEM, rk)
+	kem, err := transform(ct.KEM)
 	if err != nil {
 		return nil, err
 	}
@@ -144,6 +144,21 @@ func ReEncrypt(ct *Ciphertext, rk *core.ReKey) (*ReCiphertext, error) {
 	payload := make([]byte, len(ct.Payload))
 	copy(payload, ct.Payload)
 	return &ReCiphertext{KEM: kem, Nonce: nonce, Payload: payload}, nil
+}
+
+// ReEncrypt transforms the KEM with the proxy key; the sealed payload is
+// copied verbatim. Cost is independent of len(Payload).
+func ReEncrypt(ct *Ciphertext, rk *core.ReKey) (*ReCiphertext, error) {
+	return reEncryptKEM(ct, func(kem *core.Ciphertext) (*core.ReCiphertext, error) {
+		return core.ReEncrypt(kem, rk)
+	})
+}
+
+// ReEncryptPrepared is ReEncrypt against a prepared proxy key: repeat
+// transformations of the same sealed record reuse the cached pairing
+// adjustment (see core.PreparedReKey). Outputs are identical to ReEncrypt's.
+func ReEncryptPrepared(ct *Ciphertext, prk *core.PreparedReKey) (*ReCiphertext, error) {
+	return reEncryptKEM(ct, prk.ReEncrypt)
 }
 
 // OpenWithKEMKey unseals a hybrid ciphertext given an explicitly recovered

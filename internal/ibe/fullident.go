@@ -64,7 +64,7 @@ func EncryptCCA(params *Params, id string, m []byte, rng io.Reader) (*CCACiphert
 	var c1 bn254.G2
 	c1.ScalarBaseMult(r)
 
-	shared := bn254.Pair(PublicKeyOf(id), params.PK)
+	shared := params.EncryptionMask(id)
 	var sharedR bn254.GT
 	sharedR.Exp(shared, r)
 	pad := bn254.KDF(domainFOSigma, &sharedR, sigmaSize)

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 
 	"typepre/internal/bn254"
 )
@@ -37,6 +38,76 @@ var (
 type Params struct {
 	Name string
 	PK   *bn254.G2
+
+	// pre holds lazily built precomputation shared by every copy of these
+	// parameters (Params is copied by value in Params()/Extract, so the
+	// pointer — not the state — is duplicated). A nil pre (zero value or a
+	// caller-built literal) degrades gracefully to the uncached paths.
+	pre *paramsPre
+}
+
+// maskCacheLimit bounds the per-identity mask cache. When the limit is hit
+// the whole cache is dropped and rebuilt on demand, which keeps the steady
+// state simple and the memory bounded under identity churn.
+const maskCacheLimit = 4096
+
+// paramsPre is the precomputation state attached to a set of parameters:
+// the prepared form of pk for the pairing, and the per-identity encryption
+// masks ê(H1(id), pk) — constant per identity, one pairing each, and by far
+// the hottest value in encrypt-heavy workloads.
+type paramsPre struct {
+	pkOnce sync.Once
+	pk     *bn254.PreparedG2
+
+	mu    sync.Mutex
+	masks map[string]*bn254.GT
+}
+
+// newParamsPre attaches fresh (empty) precomputation state.
+func newParamsPre() *paramsPre {
+	return &paramsPre{masks: make(map[string]*bn254.GT)}
+}
+
+// PreparedPK returns the prepared form of PK for use with
+// bn254.PairPrepared, building and caching it on first use. Without
+// attached precomputation state it prepares on the fly.
+func (p *Params) PreparedPK() *bn254.PreparedG2 {
+	if p.pre == nil {
+		return bn254.PrepareG2(p.PK)
+	}
+	p.pre.pkOnce.Do(func() {
+		p.pre.pk = bn254.PrepareG2(p.PK)
+	})
+	return p.pre.pk
+}
+
+// EncryptionMask returns ê(H1(id), pk), the Boneh–Franklin encryption mask
+// for an identity, cached per identity on parameters that carry
+// precomputation state. The returned value is shared and must not be
+// modified. Without attached state it computes a fresh (uncached) pairing.
+func (p *Params) EncryptionMask(id string) *bn254.GT {
+	if p.pre == nil {
+		return bn254.Pair(PublicKeyOf(id), p.PK)
+	}
+	p.pre.mu.Lock()
+	if m, ok := p.pre.masks[id]; ok {
+		p.pre.mu.Unlock()
+		return m
+	}
+	p.pre.mu.Unlock()
+
+	// Pair outside the lock: concurrent first requests for one identity
+	// may compute the mask twice, but the results are identical and
+	// encrypts for other identities are not stalled behind a ~ms pairing.
+	m := bn254.PairPrepared(PublicKeyOf(id), p.PreparedPK())
+
+	p.pre.mu.Lock()
+	if len(p.pre.masks) >= maskCacheLimit {
+		p.pre.masks = make(map[string]*bn254.GT)
+	}
+	p.pre.masks[id] = m
+	p.pre.mu.Unlock()
+	return m
 }
 
 // KGC is a Key Generation Center: the holder of a master secret α who can
@@ -57,7 +128,7 @@ func Setup(name string, rng io.Reader) (*KGC, error) {
 	var pk bn254.G2
 	pk.ScalarBaseMult(alpha)
 	return &KGC{
-		params: Params{Name: name, PK: &pk},
+		params: Params{Name: name, PK: &pk, pre: newParamsPre()},
 		master: alpha,
 	}, nil
 }
@@ -113,7 +184,7 @@ func encryptWithR(params *Params, id string, m *bn254.GT, r *big.Int) *Ciphertex
 	var c1 bn254.G2
 	c1.ScalarBaseMult(r)
 
-	mask := bn254.Pair(PublicKeyOf(id), params.PK) // ê(H1(id), pk)
+	mask := params.EncryptionMask(id) // ê(H1(id), pk)
 	var c2 bn254.GT
 	c2.Exp(mask, r)
 	c2.Mul(m, &c2)
@@ -148,7 +219,7 @@ func EncryptBytes(params *Params, id string, msg []byte, rng io.Reader) (*ByteCi
 	var c1 bn254.G2
 	c1.ScalarBaseMult(r)
 
-	mask := bn254.Pair(PublicKeyOf(id), params.PK)
+	mask := params.EncryptionMask(id)
 	var sharedGT bn254.GT
 	sharedGT.Exp(mask, r)
 	pad := bn254.KDF(bn254.DomainGTMask, &sharedGT, len(msg))

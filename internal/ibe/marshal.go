@@ -132,7 +132,7 @@ func RestoreKGC(data []byte) (*KGC, error) {
 	}
 	var pk bn254.G2
 	pk.ScalarBaseMult(alpha)
-	return &KGC{params: Params{Name: name, PK: &pk}, master: alpha}, nil
+	return &KGC{params: Params{Name: name, PK: &pk, pre: newParamsPre()}, master: alpha}, nil
 }
 
 // Marshal encodes the public parameters as len(Name)‖Name‖PK.
@@ -161,5 +161,5 @@ func UnmarshalParams(data []byte) (*Params, error) {
 	if err := pk.Unmarshal(data[4+n:]); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrEncoding, err)
 	}
-	return &Params{Name: name, PK: &pk}, nil
+	return &Params{Name: name, PK: &pk, pre: newParamsPre()}, nil
 }

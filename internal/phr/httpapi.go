@@ -26,7 +26,8 @@ import (
 //	GET    /v1/audit?category=C             audit entries (JSON)
 //
 // Binary payloads use application/octet-stream with the package's own
-// framing; metadata rides in headers (X-Record-*).
+// framing; metadata rides in headers (X-Record-*). Full endpoint,
+// wire-format and trust-model documentation lives in docs/httpapi.md.
 
 // Header names of the record-upload metadata.
 const (

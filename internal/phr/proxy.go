@@ -30,12 +30,12 @@ type Proxy struct {
 	audit *AuditLog
 
 	mu     sync.RWMutex
-	grants map[grantKey]*core.ReKey
+	grants map[grantKey]*core.PreparedReKey
 }
 
 // NewProxy creates a proxy with its own audit log.
 func NewProxy(name string) *Proxy {
-	return &Proxy{name: name, audit: NewAuditLog(), grants: map[grantKey]*core.ReKey{}}
+	return &Proxy{name: name, audit: NewAuditLog(), grants: map[grantKey]*core.PreparedReKey{}}
 }
 
 // Name returns the proxy's deployment name.
@@ -44,9 +44,9 @@ func (p *Proxy) Name() string { return p.name }
 // Audit exposes the proxy's audit log.
 func (p *Proxy) Audit() *AuditLog { return p.audit }
 
-// Install registers a re-encryption grant. The rekey's own metadata
-// determines the (patient, category, requester) triple, so a mislabeled
-// installation is impossible.
+// Install registers a re-encryption grant, preparing it for reuse across
+// requests. The rekey's own metadata determines the (patient, category,
+// requester) triple, so a mislabeled installation is impossible.
 func (p *Proxy) Install(rk *core.ReKey) error {
 	if rk == nil || rk.RK == nil {
 		return fmt.Errorf("phr: invalid rekey")
@@ -54,7 +54,7 @@ func (p *Proxy) Install(rk *core.ReKey) error {
 	k := grantKey{rk.DelegatorID, rk.Type, rk.DelegateeID}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.grants[k] = rk
+	p.grants[k] = core.PrepareReKey(rk)
 	return nil
 }
 
@@ -77,8 +77,8 @@ func (p *Proxy) GrantCount() int {
 	return len(p.grants)
 }
 
-// lookup finds the grant for a request.
-func (p *Proxy) lookup(patientID string, c Category, requester string) (*core.ReKey, bool) {
+// lookup finds the prepared grant for a request.
+func (p *Proxy) lookup(patientID string, c Category, requester string) (*core.PreparedReKey, bool) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	rk, ok := p.grants[grantKey{patientID, c, requester}]
@@ -105,7 +105,7 @@ func (p *Proxy) Disclose(store *Store, recordID, requester string) (*hybrid.ReCi
 		})
 		return nil, fmt.Errorf("%w: %s/%s for %s", ErrNoGrant, rec.PatientID, rec.Category, requester)
 	}
-	rct, err := hybrid.ReEncrypt(rec.Sealed, rk)
+	rct, err := hybrid.ReEncryptPrepared(rec.Sealed, rk)
 	if err != nil {
 		p.audit.Append(AuditEntry{
 			Proxy: p.name, PatientID: rec.PatientID, RecordID: recordID,
@@ -150,7 +150,7 @@ func (p *Proxy) CompromisedGrants() []*core.ReKey {
 	defer p.mu.RUnlock()
 	out := make([]*core.ReKey, 0, len(p.grants))
 	for _, rk := range p.grants {
-		out = append(out, rk)
+		out = append(out, rk.ReKey())
 	}
 	return out
 }
