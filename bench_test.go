@@ -624,6 +624,65 @@ func BenchmarkE7_ProxyOnly_1MiB(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// E9: bulk-disclosure pipeline — the serial per-record loop vs the
+// GOMAXPROCS-bounded worker pool over workload-generated patients. The
+// parallel path must preserve insertion order and produce byte-identical
+// plaintexts (pinned by internal/phr tests); here we measure throughput.
+// ---------------------------------------------------------------------------
+
+var bulkFixtures = map[int]*phr.BulkFixture{}
+
+func bulkEnv(b *testing.B, records int) *phr.BulkFixture {
+	b.Helper()
+	f := bulkFixtures[records]
+	if f == nil {
+		var err error
+		f, err = phr.NewBulkFixture(records)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bulkFixtures[records] = f
+	}
+	return f
+}
+
+func benchDiscloseCategory(b *testing.B, records int, parallel bool) {
+	f := bulkEnv(b, records)
+	disclose := f.Proxy.DiscloseCategory
+	if parallel {
+		disclose = f.Proxy.DiscloseCategoryParallel
+	}
+	// Warm the per-record pairing cache so both modes measure the
+	// steady-state serving path (write once, disclose many).
+	if _, err := f.Proxy.DiscloseCategoryParallel(f.Service.Store, f.PatientID, phr.CategoryEmergency, f.RequesterID); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rcts, err := disclose(f.Service.Store, f.PatientID, phr.CategoryEmergency, f.RequesterID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rcts) != records {
+			b.Fatalf("disclosed %d records, want %d", len(rcts), records)
+		}
+	}
+	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+func BenchmarkDiscloseCategory(b *testing.B) {
+	for _, mode := range []string{"serial", "parallel"} {
+		parallel := mode == "parallel"
+		for _, n := range []int{1, 8, 64, 512} {
+			n := n
+			b.Run(fmt.Sprintf("%s/records-%d", mode, n), func(b *testing.B) {
+				benchDiscloseCategory(b, n, parallel)
+			})
+		}
+	}
+}
+
 // Facade sanity: the public API costs what the internal API costs
 // (typepre.Delegator is a type alias of the internal delegator).
 func BenchmarkFacade_EncryptBytes_1KiB(b *testing.B) {

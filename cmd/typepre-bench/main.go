@@ -1,5 +1,5 @@
 // Command typepre-bench regenerates every experiment table and figure
-// series defined in EXPERIMENTS.md (E1–E8). The paper itself reports no
+// series defined in EXPERIMENTS.md (E1–E9). The paper itself reports no
 // quantitative evaluation; these are the canonical artifacts for its
 // claims, and `go test -bench .` reproduces the same measurements through
 // the testing.B harness.
@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -32,7 +33,7 @@ import (
 )
 
 var (
-	experiment = flag.String("e", "all", "experiment to run: e1..e8 or all")
+	experiment = flag.String("e", "all", "experiment to run: e1..e9 or all")
 	iters      = flag.Int("iters", 20, "timing iterations per data point")
 )
 
@@ -40,7 +41,7 @@ func main() {
 	flag.Parse()
 	run := map[string]func(){
 		"e1": e1, "e2": e2, "e3": e3, "e4": e4,
-		"e5": e5, "e6": e6, "e7": e7, "e8": e8,
+		"e5": e5, "e6": e6, "e7": e7, "e8": e8, "e9": e9,
 	}
 	if *experiment == "all" {
 		keys := make([]string, 0, len(run))
@@ -55,7 +56,7 @@ func main() {
 	}
 	f, ok := run[strings.ToLower(*experiment)]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want e1..e8 or all)\n", *experiment)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want e1..e9 or all)\n", *experiment)
 		os.Exit(2)
 	}
 	f()
@@ -391,6 +392,32 @@ func sizeName(n int) string {
 	default:
 		return fmt.Sprintf("%dB", n)
 	}
+}
+
+func e9() {
+	header(fmt.Sprintf("E9 — bulk-disclosure pipeline: serial vs parallel (workers = GOMAXPROCS = %d)",
+		runtime.GOMAXPROCS(0)))
+	fmt.Printf("  %-8s | %-14s | %-14s | %8s\n", "records", "serial", "parallel", "speedup")
+	for _, n := range []int{1, 8, 64, 512} {
+		f, err := phr.NewBulkFixture(n)
+		check(err)
+		// Warm the per-record pairing cache: both modes then measure the
+		// steady-state serving path.
+		_, err = f.Proxy.DiscloseCategoryParallel(f.Service.Store, f.PatientID, phr.CategoryEmergency, f.RequesterID)
+		check(err)
+		serial := timeOp(func() {
+			_, err := f.Proxy.DiscloseCategory(f.Service.Store, f.PatientID, phr.CategoryEmergency, f.RequesterID)
+			check(err)
+		})
+		par := timeOp(func() {
+			_, err := f.Proxy.DiscloseCategoryParallel(f.Service.Store, f.PatientID, phr.CategoryEmergency, f.RequesterID)
+			check(err)
+		})
+		fmt.Printf("  %-8d | %14s | %14s | %7.2fx\n", n,
+			serial.Round(time.Microsecond), par.Round(time.Microsecond),
+			float64(serial)/float64(par))
+	}
+	fmt.Println("  ordered output; plaintext equivalence is pinned by internal/phr tests.")
 }
 
 func e8() {

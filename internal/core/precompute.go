@@ -24,7 +24,7 @@ const adjCacheLimit = 1024
 type PreparedReKey struct {
 	rk *ReKey
 
-	mu  sync.Mutex
+	mu  sync.RWMutex
 	adj map[string]*bn254.GT // ê(rk, c1) keyed by marshaled c1
 }
 
@@ -36,19 +36,21 @@ func PrepareReKey(rk *ReKey) *PreparedReKey {
 // ReKey returns the underlying proxy key.
 func (p *PreparedReKey) ReKey() *ReKey { return p.rk }
 
-// adjustment returns ê(rk, c1), cached per ciphertext randomizer.
+// adjustment returns ê(rk, c1), cached per ciphertext randomizer. The hot
+// (cache-hit) path takes only a read lock so a batch worker pool serving
+// warm records does not serialize on the cache.
 func (p *PreparedReKey) adjustment(c1 *bn254.G2) *bn254.GT {
 	key := string(c1.Marshal())
-	p.mu.Lock()
-	if a, ok := p.adj[key]; ok {
-		p.mu.Unlock()
+	p.mu.RLock()
+	a, ok := p.adj[key]
+	p.mu.RUnlock()
+	if ok {
 		return a
 	}
-	p.mu.Unlock()
 
 	// Pair outside the lock; a duplicated first computation is harmless
 	// and identical.
-	a := bn254.Pair(p.rk.RK, c1)
+	a = bn254.Pair(p.rk.RK, c1)
 
 	p.mu.Lock()
 	if len(p.adj) >= adjCacheLimit {

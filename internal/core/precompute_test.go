@@ -2,6 +2,8 @@ package core
 
 import (
 	"errors"
+	"fmt"
+	"sync"
 	"testing"
 
 	"typepre/internal/bn254"
@@ -60,6 +62,73 @@ func TestPreparedReKeyMatchesReEncrypt(t *testing.T) {
 				t.Fatalf("ct %d rep %d: delegatee decryption failed", i, rep)
 			}
 		}
+	}
+}
+
+// TestPreparedReKeyConcurrentReEncrypt hammers one prepared key from many
+// goroutines over a mix of cold and warm ciphertexts — the access pattern
+// of the batch-disclosure worker pool — and pins every output to the plain
+// transformation. Run under -race in CI.
+func TestPreparedReKeyConcurrentReEncrypt(t *testing.T) {
+	kgc1, err := ibe.Setup("prk-cc-kgc1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kgc2, err := ibe.Setup("prk-cc-kgc2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice := NewDelegator(kgc1.Extract("alice@cc"))
+	m, _, err := bn254.RandomGT(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk, err := alice.Delegate(kgc2.Params(), "bob@cc", "t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prk := PrepareReKey(rk)
+
+	const nCT = 6
+	cts := make([]*Ciphertext, nCT)
+	want := make([]*ReCiphertext, nCT)
+	for i := range cts {
+		ct, err := alice.Encrypt(m, "t", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cts[i] = ct
+		if want[i], err = ReEncrypt(ct, rk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prk.ReEncrypt(cts[0]) // warm one entry so hits and misses interleave
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				j := (g + i) % nCT
+				got, err := prk.ReEncrypt(cts[j])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !got.C1.Equal(want[j].C1) || !got.C2.Equal(want[j].C2) || got.Type != want[j].Type {
+					errs <- fmt.Errorf("goroutine %d: ct %d diverged from plain ReEncrypt", g, j)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }
 

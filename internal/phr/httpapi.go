@@ -1,12 +1,15 @@
 package phr
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"time"
 
 	"typepre/internal/core"
@@ -34,6 +37,13 @@ const (
 	HeaderRecordID       = "X-Record-Id"
 	HeaderRecordPatient  = "X-Record-Patient"
 	HeaderRecordCategory = "X-Record-Category"
+)
+
+// Request-body ceilings. Oversized uploads are rejected with 413, never
+// silently truncated.
+const (
+	MaxRecordBytes = 16 << 20 // sealed record upload
+	MaxGrantBytes  = 1 << 20  // marshaled rekey upload
 )
 
 // Server exposes a Service over HTTP.
@@ -72,6 +82,24 @@ func httpError(w http.ResponseWriter, err error) {
 	}
 }
 
+// readLimitedBody reads at most limit bytes of the request body. A body
+// that exceeds the limit gets a 413 (read limit+1 bytes to tell "exactly
+// limit" apart from "over"); a transport error gets a 400. On failure the
+// response has been written and the caller must return.
+func readLimitedBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	if int64(len(body)) > limit {
+		http.Error(w, fmt.Sprintf("request body exceeds %d bytes", limit),
+			http.StatusRequestEntityTooLarge)
+		return nil, false
+	}
+	return body, true
+}
+
 func (s *Server) handlePutRecord(w http.ResponseWriter, r *http.Request) {
 	id := r.Header.Get(HeaderRecordID)
 	patient := r.Header.Get(HeaderRecordPatient)
@@ -80,9 +108,8 @@ func (s *Server) handlePutRecord(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing record metadata headers", http.StatusBadRequest)
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	body, ok := readLimitedBody(w, r, MaxRecordBytes)
+	if !ok {
 		return
 	}
 	sealed, err := hybrid.UnmarshalCiphertext(body)
@@ -137,26 +164,46 @@ func (s *Server) handleDiscloseCategory(w http.ResponseWriter, r *http.Request) 
 		httpError(w, err)
 		return
 	}
-	rcts, err := proxy.DiscloseCategory(s.svc.Store, patient, category, requester)
-	if err != nil {
-		httpError(w, err)
-		return
-	}
-	// Length-prefixed concatenation of the re-encrypted containers.
+	// Stream length-prefixed containers as the worker pool finishes ordered
+	// items: same wire framing as the old buffered response, but the server
+	// holds at most a pool's worth of containers at a time. Errors that
+	// occur before the first frame (no grant, no records re-encryptable)
+	// still map to clean HTTP statuses; after the first frame the status
+	// line is already on the wire, so the only honest signal left is an
+	// aborted connection, which the client decoder reports as truncation.
 	w.Header().Set("Content-Type", "application/octet-stream")
-	var out []byte
-	for _, rct := range rcts {
+	flusher, _ := w.(http.Flusher)
+	wrote := false
+	err = proxy.DiscloseCategoryStream(s.svc.Store, patient, category, requester, func(rct *hybrid.ReCiphertext) error {
 		b := rct.Marshal()
-		out = append(out, byte(len(b)>>24), byte(len(b)>>16), byte(len(b)>>8), byte(len(b)))
-		out = append(out, b...)
+		var prefix [4]byte
+		binary.BigEndian.PutUint32(prefix[:], uint32(len(b)))
+		// The first Write attempt commits the 200 status even if it fails
+		// partway, so flip wrote before touching the ResponseWriter.
+		wrote = true
+		if _, err := w.Write(prefix[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		if !wrote {
+			httpError(w, err)
+			return
+		}
+		panic(http.ErrAbortHandler)
 	}
-	w.Write(out)
 }
 
 func (s *Server) handleInstallGrant(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	body, ok := readLimitedBody(w, r, MaxGrantBytes)
+	if !ok {
 		return
 	}
 	rk, err := core.UnmarshalReKey(body)
@@ -202,15 +249,26 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
+	// Marshal before touching the ResponseWriter so an encoding failure can
+	// still surface as a status code instead of a torn 200 body.
+	buf, err := json.Marshal(proxy.Audit().Entries())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(proxy.Audit().Entries())
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf)
 }
 
 // ---------------------------------------------------------------------------
 // Client
 // ---------------------------------------------------------------------------
 
-// Client is a minimal typed client for the HTTP API.
+// Client is a minimal typed client for the HTTP API. Identifiers (record
+// IDs, patients, categories, requesters) may contain any bytes — '/', '&',
+// '#', '+', spaces — the client escapes them on every request, and the
+// server's wildcard routes unescape them back, so hostile IDs round-trip.
 type Client struct {
 	Base string
 	HTTP *http.Client
@@ -221,20 +279,29 @@ func NewClient(base string) *Client {
 	return &Client{Base: base, HTTP: http.DefaultClient}
 }
 
-func (c *Client) do(req *http.Request, wantStatus int) ([]byte, error) {
+// doStream issues the request and hands back the (open) response body on
+// the expected status. On any other status it consumes a bounded error
+// snippet and returns it as an error.
+func (c *Client) doStream(req *http.Request, wantStatus int) (io.ReadCloser, error) {
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		defer resp.Body.Close()
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 8<<10))
+		return nil, fmt.Errorf("phr: %s %s: %s: %s", req.Method, req.URL.Path, resp.Status, snippet)
+	}
+	return resp.Body, nil
+}
+
+func (c *Client) do(req *http.Request, wantStatus int) ([]byte, error) {
+	body, err := c.doStream(req, wantStatus)
 	if err != nil {
 		return nil, err
 	}
-	if resp.StatusCode != wantStatus {
-		return nil, fmt.Errorf("phr: %s %s: %s: %s", req.Method, req.URL.Path, resp.Status, body)
-	}
-	return body, nil
+	defer body.Close()
+	return io.ReadAll(body)
 }
 
 // PutRecord uploads a sealed record.
@@ -262,9 +329,12 @@ func (c *Client) InstallGrant(rk *core.ReKey) error {
 
 // RevokeGrant removes a grant.
 func (c *Client) RevokeGrant(patient string, category Category, requester string) error {
-	url := fmt.Sprintf("%s/v1/grants?patient=%s&category=%s&requester=%s",
-		c.Base, patient, category, requester)
-	req, err := http.NewRequest("DELETE", url, nil)
+	q := url.Values{
+		"patient":   {patient},
+		"category":  {string(category)},
+		"requester": {requester},
+	}
+	req, err := http.NewRequest("DELETE", c.Base+"/v1/grants?"+q.Encode(), nil)
 	if err != nil {
 		return err
 	}
@@ -274,8 +344,9 @@ func (c *Client) RevokeGrant(patient string, category Category, requester string
 
 // Disclose fetches one record re-encrypted toward the requester.
 func (c *Client) Disclose(recordID, requester string) (*hybrid.ReCiphertext, error) {
-	url := fmt.Sprintf("%s/v1/records/%s?requester=%s", c.Base, recordID, requester)
-	req, err := http.NewRequest("GET", url, nil)
+	u := fmt.Sprintf("%s/v1/records/%s?requester=%s",
+		c.Base, url.PathEscape(recordID), url.QueryEscape(requester))
+	req, err := http.NewRequest("GET", u, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -286,41 +357,67 @@ func (c *Client) Disclose(recordID, requester string) (*hybrid.ReCiphertext, err
 	return hybrid.UnmarshalReCiphertext(body)
 }
 
-// DiscloseCategory fetches every record of (patient, category).
-func (c *Client) DiscloseCategory(patient string, category Category, requester string) ([]*hybrid.ReCiphertext, error) {
-	url := fmt.Sprintf("%s/v1/patients/%s/categories/%s?requester=%s",
-		c.Base, patient, category, requester)
-	req, err := http.NewRequest("GET", url, nil)
+// DiscloseCategoryStream fetches every record of (patient, category) and
+// calls yield once per container, in the server's (insertion) order, as
+// frames arrive — the client never buffers more than one container. A
+// server-side mid-stream failure surfaces as a truncation error after the
+// frames delivered so far.
+func (c *Client) DiscloseCategoryStream(patient string, category Category, requester string, yield func(*hybrid.ReCiphertext) error) error {
+	u := fmt.Sprintf("%s/v1/patients/%s/categories/%s?requester=%s",
+		c.Base, url.PathEscape(patient), url.PathEscape(string(category)), url.QueryEscape(requester))
+	req, err := http.NewRequest("GET", u, nil)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	body, err := c.do(req, http.StatusOK)
+	body, err := c.doStream(req, http.StatusOK)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	var out []*hybrid.ReCiphertext
-	for len(body) > 0 {
-		if len(body) < 4 {
-			return nil, fmt.Errorf("phr: truncated bulk response")
+	defer body.Close()
+	br := bufio.NewReader(body)
+	var prefix [4]byte
+	for {
+		if _, err := io.ReadFull(br, prefix[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("phr: truncated bulk response: %w", err)
 		}
-		n := int(body[0])<<24 | int(body[1])<<16 | int(body[2])<<8 | int(body[3])
-		body = body[4:]
-		if len(body) < n {
-			return nil, fmt.Errorf("phr: truncated bulk item")
+		n := binary.BigEndian.Uint32(prefix[:])
+		if n > MaxRecordBytes+4096 {
+			return fmt.Errorf("phr: bulk item of %d bytes exceeds protocol limit", n)
 		}
-		rct, err := hybrid.UnmarshalReCiphertext(body[:n])
+		item := make([]byte, n)
+		if _, err := io.ReadFull(br, item); err != nil {
+			return fmt.Errorf("phr: truncated bulk item: %w", err)
+		}
+		rct, err := hybrid.UnmarshalReCiphertext(item)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		if err := yield(rct); err != nil {
+			return err
+		}
+	}
+}
+
+// DiscloseCategory is DiscloseCategoryStream collected into a slice.
+func (c *Client) DiscloseCategory(patient string, category Category, requester string) ([]*hybrid.ReCiphertext, error) {
+	var out []*hybrid.ReCiphertext
+	err := c.DiscloseCategoryStream(patient, category, requester, func(rct *hybrid.ReCiphertext) error {
 		out = append(out, rct)
-		body = body[n:]
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // Audit fetches a proxy's audit entries.
 func (c *Client) Audit(category Category) ([]AuditEntry, error) {
-	req, err := http.NewRequest("GET", fmt.Sprintf("%s/v1/audit?category=%s", c.Base, category), nil)
+	q := url.Values{"category": {string(category)}}
+	req, err := http.NewRequest("GET", c.Base+"/v1/audit?"+q.Encode(), nil)
 	if err != nil {
 		return nil, err
 	}

@@ -2,12 +2,15 @@ package phr
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
 	"typepre/internal/hybrid"
+	"typepre/internal/ibe"
 )
 
 // httpScenario wires the §5 cast to a live httptest server.
@@ -177,6 +180,235 @@ func TestHTTPAudit(t *testing.T) {
 	}
 	if len(entries) != 1 || entries[0].Outcome != OutcomeNoGrant {
 		t.Fatalf("audit = %+v", entries)
+	}
+}
+
+// TestHTTPHostileIdentifiersRoundTrip uploads, bulk-discloses, singly
+// discloses and revokes with identifiers full of URL metacharacters —
+// '/', '&', '#', '+', '?', spaces, non-ASCII — and expects every call to
+// address exactly the intended resource.
+func TestHTTPHostileIdentifiersRoundTrip(t *testing.T) {
+	kgc1, err := ibe.Setup("hostile-kgc1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kgc2, err := ibe.Setup("hostile-kgc2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostileCat := Category("emer/gency +extra&more")
+	hostileID := "week/2, réf #9&x+y z?"
+	hostilePatient := "pat ient/№1&x+y@phr"
+	hostileReq := "dr bob/?&#+@clinic"
+
+	svc := NewService([]Category{hostileCat})
+	ts := httptest.NewServer(NewServer(svc))
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL)
+
+	alice := NewPatient(kgc1, hostilePatient)
+	bobKey := kgc2.Extract(hostileReq)
+	body := []byte("hostile-id record body")
+	sealed, err := hybrid.Encrypt(alice.Delegator(), body, hostileCat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &EncryptedRecord{ID: hostileID, PatientID: hostilePatient, Category: hostileCat, Sealed: sealed}
+	if err := client.PutRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+	rk, err := alice.Delegator().Delegate(kgc2.Params(), hostileReq, hostileCat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.InstallGrant(rk); err != nil {
+		t.Fatal(err)
+	}
+
+	rct, err := client.Disclose(hostileID, hostileReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := hybrid.DecryptReEncrypted(bobKey, rct)
+	if err != nil || !bytes.Equal(got, body) {
+		t.Fatalf("hostile single disclosure failed: %v", err)
+	}
+
+	rcts, err := client.DiscloseCategory(hostilePatient, hostileCat, hostileReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rcts) != 1 {
+		t.Fatalf("hostile bulk disclosure returned %d records, want 1", len(rcts))
+	}
+	if got, err := hybrid.DecryptReEncrypted(bobKey, rcts[0]); err != nil || !bytes.Equal(got, body) {
+		t.Fatalf("hostile bulk decryption failed: %v", err)
+	}
+
+	if err := client.RevokeGrant(hostilePatient, hostileCat, hostileReq); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Disclose(hostileID, hostileReq); err == nil || !strings.Contains(err.Error(), "403") {
+		t.Fatalf("want 403 after hostile revoke, got %v", err)
+	}
+	entries, err := client.Audit(hostileCat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 || entries[len(entries)-1].Outcome != OutcomeNoGrant {
+		t.Fatalf("hostile audit fetch = %+v", entries)
+	}
+}
+
+// TestHTTPOversizedBodies pins the 413 contract: oversized uploads are
+// rejected loudly, never truncated into a confusing decode error.
+func TestHTTPOversizedBodies(t *testing.T) {
+	h := newHTTPScenario(t)
+
+	req, err := http.NewRequest("POST", h.ts.URL+"/v1/records",
+		bytes.NewReader(make([]byte, MaxRecordBytes+1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(HeaderRecordID, "big")
+	req.Header.Set(HeaderRecordPatient, "alice")
+	req.Header.Set(HeaderRecordCategory, string(CategoryEmergency))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("record upload: want 413, got %d", resp.StatusCode)
+	}
+
+	// Exactly at the limit is not 413 (it fails later as a decode 400).
+	req, _ = http.NewRequest("POST", h.ts.URL+"/v1/records", bytes.NewReader(make([]byte, MaxRecordBytes)))
+	req.Header.Set(HeaderRecordID, "big")
+	req.Header.Set(HeaderRecordPatient, "alice")
+	req.Header.Set(HeaderRecordCategory, string(CategoryEmergency))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("at-limit garbage upload: want 400, got %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(h.ts.URL+"/v1/grants", "application/octet-stream",
+		bytes.NewReader(make([]byte, MaxGrantBytes+1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("grant upload: want 413, got %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPBulkErrorPaths covers the promised statuses of the streaming
+// bulk endpoint before any frame is written.
+func TestHTTPBulkErrorPaths(t *testing.T) {
+	h := newHTTPScenario(t)
+	// Missing requester.
+	resp, err := http.Get(h.ts.URL + "/v1/patients/alice/categories/emergency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing requester: want 400, got %d", resp.StatusCode)
+	}
+	// No proxy for the category.
+	if _, err := h.client.DiscloseCategory("alice", "nope", "dr-bob@clinic.example"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("unknown category: want 404, got %v", err)
+	}
+	// No grant.
+	if _, err := h.client.DiscloseCategory(h.alice.ID(), CategoryEmergency, "eve@outside.example"); err == nil || !strings.Contains(err.Error(), "403") {
+		t.Fatalf("no grant: want 403, got %v", err)
+	}
+	// Missing revoke parameters.
+	req, _ := http.NewRequest("DELETE", h.ts.URL+"/v1/grants?patient=alice", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("partial revoke params: want 400, got %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPBulkStreamClientCancel checks the incremental decoder: ordered
+// delivery, and a consumer error stopping the stream early.
+func TestHTTPBulkStreamClientCancel(t *testing.T) {
+	h := newHTTPScenario(t)
+	want := [][]byte{[]byte("one"), []byte("two"), []byte("three"), []byte("four")}
+	for i, b := range want {
+		rec := h.sealRecord(t, "alice/s"+string(rune('1'+i)), CategoryEmergency, b)
+		if err := h.client.PutRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rk, _ := h.alice.Delegator().Delegate(h.kgc2.Params(), "dr-bob@clinic.example", CategoryEmergency, nil)
+	if err := h.client.InstallGrant(rk); err != nil {
+		t.Fatal(err)
+	}
+
+	i := 0
+	err := h.client.DiscloseCategoryStream(h.alice.ID(), CategoryEmergency, "dr-bob@clinic.example",
+		func(rct *hybrid.ReCiphertext) error {
+			got, err := hybrid.DecryptReEncrypted(h.bobKey, rct)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(got, want[i]) {
+				t.Fatalf("stream item %d out of order", i)
+			}
+			i++
+			return nil
+		})
+	if err != nil || i != len(want) {
+		t.Fatalf("full stream: err=%v items=%d", err, i)
+	}
+
+	stop := errors.New("enough")
+	i = 0
+	err = h.client.DiscloseCategoryStream(h.alice.ID(), CategoryEmergency, "dr-bob@clinic.example",
+		func(*hybrid.ReCiphertext) error {
+			i++
+			if i == 2 {
+				return stop
+			}
+			return nil
+		})
+	if !errors.Is(err, stop) || i != 2 {
+		t.Fatalf("cancelled stream: err=%v items=%d", err, i)
+	}
+}
+
+// TestHTTPAuditContentType pins the audit response shape: JSON content
+// type and a valid (possibly empty) array.
+func TestHTTPAuditContentType(t *testing.T) {
+	h := newHTTPScenario(t)
+	resp, err := http.Get(h.ts.URL + "/v1/audit?category=" + string(CategoryEmergency))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("want 200, got %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var entries []AuditEntry
+	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+		t.Fatalf("audit body is not valid JSON: %v", err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("fresh audit log = %+v", entries)
 	}
 }
 

@@ -143,6 +143,76 @@ func (p *Proxy) DiscloseCategory(store *Store, patientID string, c Category, req
 	return out, nil
 }
 
+// DiscloseCategoryStream is the streaming bulk-disclosure path: it checks
+// the grant once, fans re-encryption of the patient's records across a
+// bounded worker pool (hybrid.ReEncryptStream, sized by GOMAXPROCS,
+// sharing the prepared grant's pairing cache), and calls yield once per
+// record in insertion order as results complete. Memory stays bounded by
+// the pool size, not the record count, so the HTTP layer can stream frames
+// to the wire as they are produced.
+//
+// Audit semantics match the serial path: one granted entry per disclosed
+// record; a denial or a failed transformation is audited once.
+func (p *Proxy) DiscloseCategoryStream(store *Store, patientID string, c Category, requester string, yield func(*hybrid.ReCiphertext) error) error {
+	rk, ok := p.lookup(patientID, c, requester)
+	if !ok {
+		p.audit.Append(AuditEntry{
+			Proxy: p.name, PatientID: patientID, Category: c,
+			Requester: requester, Outcome: OutcomeNoGrant,
+		})
+		return fmt.Errorf("%w: %s/%s for %s", ErrNoGrant, patientID, c, requester)
+	}
+	recs := store.ListByPatientCategory(patientID, c)
+	cts := make([]*hybrid.Ciphertext, len(recs))
+	for i, rec := range recs {
+		cts[i] = rec.Sealed
+	}
+	next := 0
+	var yieldErr error // consumer rejection, not a transformation failure
+	err := hybrid.ReEncryptStream(cts, rk, 0, func(rct *hybrid.ReCiphertext) error {
+		rec := recs[next]
+		next++
+		if e := yield(rct); e != nil {
+			yieldErr = e
+			return e
+		}
+		// Audit after delivery, so the log records what actually left the
+		// proxy: a record whose frame never reached the consumer is not
+		// logged as disclosed.
+		p.audit.Append(AuditEntry{
+			Proxy: p.name, PatientID: rec.PatientID, RecordID: rec.ID,
+			Category: rec.Category, Requester: requester, Outcome: OutcomeGranted,
+		})
+		return nil
+	})
+	// Only a re-encryption failure is a proxy error worth auditing; a
+	// consumer that stops the stream (client disconnect, cancel) has every
+	// delivered record audited as granted already.
+	if err != nil && yieldErr == nil {
+		p.audit.Append(AuditEntry{
+			Proxy: p.name, PatientID: patientID, Category: c,
+			Requester: requester, Outcome: OutcomeError,
+		})
+	}
+	return err
+}
+
+// DiscloseCategoryParallel is DiscloseCategory with the re-encryption
+// work spread across the worker pool: same results in the same (insertion)
+// order, near-linear scaling in GOMAXPROCS on multi-record patients (the
+// BenchmarkDiscloseCategory serial/parallel pair measures this).
+func (p *Proxy) DiscloseCategoryParallel(store *Store, patientID string, c Category, requester string) ([]*hybrid.ReCiphertext, error) {
+	var out []*hybrid.ReCiphertext
+	err := p.DiscloseCategoryStream(store, patientID, c, requester, func(rct *hybrid.ReCiphertext) error {
+		out = append(out, rct)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // CompromisedGrants models a corrupted proxy: the attacker walks away with
 // every installed rekey. Used by the E6 blast-radius experiment.
 func (p *Proxy) CompromisedGrants() []*core.ReKey {

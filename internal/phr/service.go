@@ -100,12 +100,14 @@ func (s *Service) Read(recordID string, requester *ibe.PrivateKey) ([]byte, erro
 }
 
 // ReadCategory requests and decrypts every record of (patient, category).
+// Re-encryption runs on the parallel bulk path; results keep insertion
+// order.
 func (s *Service) ReadCategory(patientID string, c Category, requester *ibe.PrivateKey) ([][]byte, error) {
 	proxy, err := s.ProxyFor(c)
 	if err != nil {
 		return nil, err
 	}
-	rcts, err := proxy.DiscloseCategory(s.Store, patientID, c, requester.ID)
+	rcts, err := proxy.DiscloseCategoryParallel(s.Store, patientID, c, requester.ID)
 	if err != nil {
 		return nil, err
 	}

@@ -77,10 +77,29 @@ func (s *Store) Delete(id string) error {
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	delete(s.byID, id)
-	s.byPatient[r.PatientID] = removeString(s.byPatient[r.PatientID], id)
+	// Drop emptied index keys outright: under record churn, keeping
+	// empty-slice entries leaks one map key per (patient) and
+	// (patient, category) ever seen.
+	if rest := removeString(s.byPatient[r.PatientID], id); len(rest) > 0 {
+		s.byPatient[r.PatientID] = rest
+	} else {
+		delete(s.byPatient, r.PatientID)
+	}
 	key := patientCategory{r.PatientID, r.Category}
-	s.byPatCat[key] = removeString(s.byPatCat[key], id)
+	if rest := removeString(s.byPatCat[key], id); len(rest) > 0 {
+		s.byPatCat[key] = rest
+	} else {
+		delete(s.byPatCat, key)
+	}
 	return nil
+}
+
+// indexSizes reports the number of live secondary-index keys; a test hook
+// for the churn-leak regression.
+func (s *Store) indexSizes() (patients, patientCategories int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byPatient), len(s.byPatCat)
 }
 
 func removeString(xs []string, x string) []string {

@@ -1,0 +1,82 @@
+package phr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestStoreDeleteReleasesIndexKeys is the churn-leak regression: empty
+// secondary-index slices must be dropped with their map keys, so index-map
+// sizes return to zero after put/delete cycles.
+func TestStoreDeleteReleasesIndexKeys(t *testing.T) {
+	s := NewStore()
+	const cycles = 5
+	for cycle := 0; cycle < cycles; cycle++ {
+		var ids []string
+		for p := 0; p < 4; p++ {
+			for r := 0; r < 3; r++ {
+				id := fmt.Sprintf("cycle%d/patient%d/rec%d", cycle, p, r)
+				rec := &EncryptedRecord{
+					ID:        id,
+					PatientID: fmt.Sprintf("patient-%d", p),
+					Category:  StandardCategories()[r%len(StandardCategories())],
+				}
+				if err := s.Put(rec); err != nil {
+					t.Fatal(err)
+				}
+				ids = append(ids, id)
+			}
+		}
+		patients, patCats := s.indexSizes()
+		if patients != 4 || patCats != 12 {
+			t.Fatalf("cycle %d: live index sizes = (%d, %d), want (4, 12)", cycle, patients, patCats)
+		}
+		for _, id := range ids {
+			if err := s.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		patients, patCats = s.indexSizes()
+		if patients != 0 || patCats != 0 {
+			t.Fatalf("cycle %d: index keys leaked after full delete: byPatient=%d byPatCat=%d",
+				cycle, patients, patCats)
+		}
+		if s.Count() != 0 {
+			t.Fatalf("cycle %d: %d records remain", cycle, s.Count())
+		}
+	}
+}
+
+// TestStoreDeletePartialKeepsSiblingKeys checks that deleting one record
+// does not drop an index key other records still need.
+func TestStoreDeletePartialKeepsSiblingKeys(t *testing.T) {
+	s := NewStore()
+	a := &EncryptedRecord{ID: "r1", PatientID: "alice", Category: CategoryEmergency}
+	b := &EncryptedRecord{ID: "r2", PatientID: "alice", Category: CategoryEmergency}
+	c := &EncryptedRecord{ID: "r3", PatientID: "alice", Category: CategoryMedication}
+	for _, r := range []*EncryptedRecord{a, b, c} {
+		if err := s.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete("r1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ListByPatientCategory("alice", CategoryEmergency); len(got) != 1 || got[0].ID != "r2" {
+		t.Fatalf("emergency index after partial delete = %v", got)
+	}
+	patients, patCats := s.indexSizes()
+	if patients != 1 || patCats != 2 {
+		t.Fatalf("index sizes = (%d, %d), want (1, 2)", patients, patCats)
+	}
+	if err := s.Delete("r2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, patCats = s.indexSizes(); patCats != 1 {
+		t.Fatalf("emptied (alice, emergency) key not dropped: byPatCat=%d", patCats)
+	}
+	if err := s.Delete("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("got %v, want ErrNotFound", err)
+	}
+}

@@ -38,6 +38,45 @@ func DefaultWorkload() WorkloadConfig {
 	}
 }
 
+// BulkFixture is the single-patient bulk-disclosure corpus shared by the
+// DiscloseCategory tests, benchmarks, and typepre-bench's E9: n emergency
+// records for one patient, one requester, one installed grant.
+type BulkFixture struct {
+	*Workload
+	Proxy       *Proxy
+	PatientID   string
+	RequesterID string
+}
+
+// NewBulkFixture materializes the corpus. Callers measuring the warm
+// serving path should run one disclosure first to populate the prepared
+// grant's pairing cache.
+func NewBulkFixture(records int) (*BulkFixture, error) {
+	cfg := DefaultWorkload()
+	cfg.Patients = 1
+	cfg.Requesters = 1
+	cfg.Categories = []Category{CategoryEmergency}
+	cfg.RecordsPerPatient = records
+	cfg.GrantsPerPatient = 1
+	w, err := GenerateWorkload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(w.Grants) != 1 {
+		return nil, fmt.Errorf("phr: bulk fixture installed %d grants, want 1", len(w.Grants))
+	}
+	proxy, err := w.Service.ProxyFor(CategoryEmergency)
+	if err != nil {
+		return nil, err
+	}
+	return &BulkFixture{
+		Workload:    w,
+		Proxy:       proxy,
+		PatientID:   w.Patients[0].ID(),
+		RequesterID: w.Grants[0].RequesterID,
+	}, nil
+}
+
 // Grant names one installed delegation in a generated workload.
 type Grant struct {
 	PatientID   string
