@@ -2,15 +2,21 @@
 // scale: a synthetic patient population, per-category proxies, grants, a
 // request mix, and a final compromise drill — printing service statistics
 // a deployment operator would care about.
+//
+// With -drills it instead runs the lifecycle drill suite (revocation, key
+// rotation, break-glass, federation churn; see docs/scenarios.md) and
+// exits non-zero if any invariant is violated.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"typepre/internal/phr"
+	"typepre/internal/phr/scenario"
 )
 
 var (
@@ -18,10 +24,41 @@ var (
 	records  = flag.Int("records", 6, "records per patient")
 	grants   = flag.Int("grants", 3, "grants per patient")
 	body     = flag.Int("body", 512, "record body size in bytes")
+	drills   = flag.Bool("drills", false, "run the lifecycle drill suite instead of the workload demo")
+	seed     = flag.Int64("seed", 1, "workload seed for the drill suite")
 )
+
+// runDrills executes every shipped lifecycle drill and reports per-step
+// results; any violated invariant fails the run loudly.
+func runDrills() {
+	start := time.Now()
+	reports, err := scenario.RunAll(*seed)
+	for _, r := range reports {
+		fmt.Print(r)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	failed := 0
+	for _, r := range reports {
+		if !r.Passed() {
+			failed++
+		}
+	}
+	fmt.Printf("drill suite: %d/%d passed (seed %d, %.1fs)\n",
+		len(reports)-failed, len(reports), *seed, time.Since(start).Seconds())
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
 
 func main() {
 	flag.Parse()
+
+	if *drills {
+		runDrills()
+		return
+	}
 
 	cfg := phr.DefaultWorkload()
 	cfg.Patients = *patients

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"typepre/internal/ibe"
+)
+
+func TestVersionedTypeRoundTrip(t *testing.T) {
+	cases := []struct {
+		base  Type
+		epoch int
+		want  Type
+	}{
+		{"emergency", 0, "emergency"},
+		{"emergency", 1, "emergency#e1"},
+		{"emergency", 12, "emergency#e12"},
+		{"lab-results", 3, "lab-results#e3"},
+	}
+	for _, c := range cases {
+		got := VersionedType(c.base, c.epoch)
+		if got != c.want {
+			t.Fatalf("VersionedType(%q, %d) = %q, want %q", c.base, c.epoch, got, c.want)
+		}
+		base, epoch := SplitType(got)
+		if base != c.base || epoch != c.epoch {
+			t.Fatalf("SplitType(%q) = (%q, %d), want (%q, %d)", got, base, epoch, c.base, c.epoch)
+		}
+	}
+}
+
+func TestSplitTypeRejectsNonCanonicalSuffixes(t *testing.T) {
+	// Suffixes that are not a canonical epoch must be treated as part of
+	// the base type, not silently aliased onto an epoch.
+	for _, s := range []Type{"t#e", "t#e0", "t#e01", "t#e1x", "t#exyz", "plain"} {
+		base, epoch := SplitType(s)
+		if base != s || epoch != 0 {
+			t.Fatalf("SplitType(%q) = (%q, %d), want (%q, 0)", s, base, epoch, s)
+		}
+	}
+}
+
+func TestRotateMovesCiphertextBetweenEpochs(t *testing.T) {
+	kgc1, err := ibe.Setup("rot-kgc1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kgc2, err := ibe.Setup("rot-kgc2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice := NewDelegator(kgc1.Extract("alice@rotate"))
+	bobKey := kgc2.Extract("bob@rotate")
+
+	m, err := randomGTForFuzz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldType := VersionedType("medication", 0)
+	newType := VersionedType("medication", 1)
+	ct, err := alice.Encrypt(m, oldType, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldRK, err := alice.Delegate(kgc2.Params(), bobKey.ID, oldType, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rotated, err := alice.Rotate(ct, newType, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rotated.Type != newType {
+		t.Fatalf("rotated type = %q, want %q", rotated.Type, newType)
+	}
+	// The owner still opens the rotated ciphertext.
+	got, err := alice.Decrypt(rotated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("owner cannot open rotated ciphertext")
+	}
+	// The pre-rotation proxy key no longer transforms it.
+	if _, err := ReEncrypt(rotated, oldRK); !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("stale rekey on rotated ciphertext: want ErrTypeMismatch, got %v", err)
+	}
+	// A fresh epoch-1 delegation restores disclosure.
+	newRK, err := alice.Delegate(kgc2.Params(), bobKey.ID, newType, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rct, err := ReEncrypt(rotated, newRK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opened, err := DecryptReEncrypted(bobKey, rct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opened.Equal(m) {
+		t.Fatal("fresh rekey does not open rotated ciphertext")
+	}
+}

@@ -1,0 +1,76 @@
+package hybrid
+
+import (
+	"bytes"
+	"testing"
+
+	"typepre/internal/core"
+	"typepre/internal/ibe"
+)
+
+// Fuzz targets for the hybrid container decoders — the format every sealed
+// record and every bulk-disclosure frame crosses the wire in. The invariant
+// under fuzzing: decoding never panics, and any accepted input re-marshals
+// to itself (canonicality), so a hostile frame cannot smuggle two distinct
+// wire forms of one ciphertext past the store or the HTTP layer.
+
+func fuzzSeeds(f *testing.F) (ct, rct []byte) {
+	f.Helper()
+	kgc1, err := ibe.Setup("hybrid-fuzz-kgc1", nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	kgc2, err := ibe.Setup("hybrid-fuzz-kgc2", nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	alice := core.NewDelegator(kgc1.Extract("alice@hybrid-fuzz"))
+	sealed, err := Encrypt(alice, []byte("fuzz corpus record body"), "fuzz-type", nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	rk, err := alice.Delegate(kgc2.Params(), "bob@hybrid-fuzz", "fuzz-type", nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	re, err := ReEncrypt(sealed, rk)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return sealed.Marshal(), re.Marshal()
+}
+
+func FuzzCiphertextRoundTrip(f *testing.F) {
+	ct, _ := fuzzSeeds(f)
+	f.Add(ct)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0xff}, 900))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := UnmarshalCiphertext(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(c.Marshal(), data) {
+			t.Fatal("accepted non-canonical hybrid ciphertext encoding")
+		}
+	})
+}
+
+func FuzzReCiphertextRoundTrip(f *testing.F) {
+	ct, rct := fuzzSeeds(f)
+	f.Add(rct)
+	f.Add(ct) // a first-level container is not a valid re-encrypted one
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add(bytes.Repeat([]byte{1}, 1500))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := UnmarshalReCiphertext(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(c.Marshal(), data) {
+			t.Fatal("accepted non-canonical hybrid reciphertext encoding")
+		}
+	})
+}

@@ -161,6 +161,19 @@ func ReEncryptPrepared(ct *Ciphertext, prk *core.PreparedReKey) (*ReCiphertext, 
 	return reEncryptKEM(ct, prk.ReEncrypt)
 }
 
+// Reseal decrypts a hybrid ciphertext with the owner's key and re-encrypts
+// the payload under a new type — the owner-side primitive behind category
+// key rotation (see core.VersionedType). The result carries a fresh KEM
+// key and nonce; nothing of the old sealing survives, so proxy keys
+// extracted for the old type cannot transform the resealed ciphertext.
+func Reseal(d *core.Delegator, ct *Ciphertext, newType core.Type, rng io.Reader) (*Ciphertext, error) {
+	body, err := Decrypt(d, ct)
+	if err != nil {
+		return nil, err
+	}
+	return Encrypt(d, body, newType, rng)
+}
+
 // OpenWithKEMKey unseals a hybrid ciphertext given an explicitly recovered
 // KEM key. Exposed for the compromise experiments (E6/E8), which model an
 // attacker who obtained the KEM key through collusion rather than through

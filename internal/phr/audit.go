@@ -14,10 +14,29 @@ const (
 	OutcomeNoGrant  Outcome = "no-grant"
 	OutcomeNotFound Outcome = "not-found"
 	OutcomeError    Outcome = "error"
+	// OutcomeStaleGrant marks a request through a grant that predates the
+	// category's key rotation: the rekey still sits in the grant table but
+	// can no longer transform the re-sealed records.
+	OutcomeStaleGrant Outcome = "stale-grant"
+	// OutcomeBreakGlass marks an emergency disclosure through the
+	// break-glass path. It is a *successful* disclosure — deliberately
+	// distinguishable from OutcomeGranted so compliance review can find
+	// every emergency access, and never counted as a denial.
+	OutcomeBreakGlass Outcome = "break-glass"
 )
+
+// IsDenial reports whether the outcome records a refused or failed
+// disclosure (as opposed to content leaving the proxy).
+func (o Outcome) IsDenial() bool {
+	return o != OutcomeGranted && o != OutcomeBreakGlass
+}
 
 // AuditEntry records one disclosure attempt at a proxy.
 type AuditEntry struct {
+	// Seq is the entry's position in the proxy's log, assigned at append
+	// time, starting at 1 and strictly increasing: ties in the wall-clock
+	// Time cannot obscure the order in which disclosures happened.
+	Seq       uint64
 	Time      time.Time
 	Proxy     string
 	PatientID string
@@ -25,6 +44,9 @@ type AuditEntry struct {
 	Category  Category
 	Requester string
 	Outcome   Outcome
+	// Note carries outcome context; the break-glass path stores its
+	// mandatory reason here.
+	Note string `json:",omitempty"`
 }
 
 // AuditLog is an append-only, concurrency-safe log of disclosure attempts.
@@ -32,19 +54,25 @@ type AuditEntry struct {
 // log is what makes that trust inspectable.
 type AuditLog struct {
 	mu      sync.RWMutex
+	nextSeq uint64
 	entries []AuditEntry
 }
 
 // NewAuditLog returns an empty log.
 func NewAuditLog() *AuditLog { return &AuditLog{} }
 
-// Append adds an entry (stamped with the current time if zero).
+// Append adds an entry (stamped with the current time if zero) and assigns
+// the next sequence number. The stamp is taken under the same lock as the
+// sequence number, so Seq order and Time order can never contradict each
+// other — the "strictly ordered per proxy" invariant the drills check.
 func (l *AuditLog) Append(e AuditEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if e.Time.IsZero() {
 		e.Time = time.Now()
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.nextSeq++
+	e.Seq = l.nextSeq
 	l.entries = append(l.entries, e)
 }
 
@@ -77,13 +105,28 @@ func (l *AuditLog) ByRequester(requester string) []AuditEntry {
 	return out
 }
 
-// Denials returns the entries whose outcome is not OutcomeGranted.
+// Denials returns the entries recording refused or failed disclosures.
+// Break-glass accesses are successful disclosures and are not denials;
+// find them with ByOutcome(OutcomeBreakGlass).
 func (l *AuditLog) Denials() []AuditEntry {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	var out []AuditEntry
 	for _, e := range l.entries {
-		if e.Outcome != OutcomeGranted {
+		if e.Outcome.IsDenial() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByOutcome returns the entries with the given outcome, in order.
+func (l *AuditLog) ByOutcome(o Outcome) []AuditEntry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []AuditEntry
+	for _, e := range l.entries {
+		if e.Outcome == o {
 			out = append(out, e)
 		}
 	}

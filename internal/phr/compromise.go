@@ -40,13 +40,18 @@ func (r *ExposureReport) Fraction() float64 {
 // precisely what the recovered type keys open (Theorem 1; verified
 // cryptographically by VerifyTypePREBreach and the tests).
 func SimulateTypePREBreach(store *Store, corrupted []*Proxy) *ExposureReport {
+	// Keyed by the *sealed* wire type (category + rotation epoch), not the
+	// logical category: a rekey for an old epoch opens nothing that has
+	// been re-sealed since — rotation shrinks the blast radius.
 	exposedPairs := map[patientCategory]bool{}
 	for _, p := range corrupted {
 		for _, rk := range p.CompromisedGrants() {
-			exposedPairs[patientCategory{rk.DelegatorID, rk.Type}] = true
+			exposedPairs[patientCategory{rk.DelegatorID, Category(rk.Type)}] = true
 		}
 	}
-	return exposureFromPairs(store, exposedPairs)
+	return exposureFrom(store, func(rec *EncryptedRecord) bool {
+		return exposedPairs[patientCategory{rec.PatientID, Category(rec.Sealed.KEM.Type)}]
+	})
 }
 
 // SimulateTraditionalPREBreach computes the exposure of the same corruption
@@ -59,21 +64,19 @@ func SimulateTraditionalPREBreach(store *Store, corrupted []*Proxy) *ExposureRep
 			exposedPatients[rk.DelegatorID] = true
 		}
 	}
-	exposedPairs := map[patientCategory]bool{}
-	for patient := range exposedPatients {
-		for _, c := range store.Categories(patient) {
-			exposedPairs[patientCategory{patient, c}] = true
-		}
-	}
-	return exposureFromPairs(store, exposedPairs)
+	return exposureFrom(store, func(rec *EncryptedRecord) bool {
+		return exposedPatients[rec.PatientID]
+	})
 }
 
-func exposureFromPairs(store *Store, pairs map[patientCategory]bool) *ExposureReport {
+// exposureFrom walks every stored record and tallies the ones the given
+// predicate marks as exposed; counts are reported by logical category.
+func exposureFrom(store *Store, exposed func(*EncryptedRecord) bool) *ExposureReport {
 	rep := &ExposureReport{ExposedByCategory: map[Category]int{}}
 	for _, patient := range store.Patients() {
 		for _, rec := range store.ListByPatient(patient) {
 			rep.TotalRecords++
-			if pairs[patientCategory{rec.PatientID, rec.Category}] {
+			if exposed(rec) {
 				rep.ExposedRecords++
 				rep.ExposedByCategory[rec.Category]++
 			}
@@ -89,7 +92,8 @@ func exposureFromPairs(store *Store, pairs map[patientCategory]bool) *ExposureRe
 // for a sample of non-exposed records, recovered keys do NOT open them.
 // Returns (exposedVerified, isolatedVerified).
 func VerifyTypePREBreach(w *Workload, corrupted []*Proxy) (bool, bool) {
-	// Recover all type keys available to the attacker.
+	// Recover all type keys available to the attacker, keyed by the sealed
+	// wire type they open (category at a specific rotation epoch).
 	typeKeys := map[patientCategory]*core.TypeKey{}
 	for _, p := range corrupted {
 		for _, rk := range p.CompromisedGrants() {
@@ -101,14 +105,14 @@ func VerifyTypePREBreach(w *Workload, corrupted []*Proxy) (bool, bool) {
 			if err != nil {
 				return false, false
 			}
-			typeKeys[patientCategory{rk.DelegatorID, rk.Type}] = tk
+			typeKeys[patientCategory{rk.DelegatorID, Category(rk.Type)}] = tk
 		}
 	}
 
 	exposedOK := true
 	isolatedOK := true
 	for _, rec := range w.Records {
-		key := patientCategory{rec.PatientID, rec.Category}
+		key := patientCategory{rec.PatientID, Category(rec.Sealed.KEM.Type)}
 		tk, exposed := typeKeys[key]
 		if exposed {
 			// The attacker opens the KEM with the type key and unseals.

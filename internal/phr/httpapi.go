@@ -71,7 +71,7 @@ func httpError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrNotFound):
 		http.Error(w, err.Error(), http.StatusNotFound)
-	case errors.Is(err, ErrNoGrant):
+	case errors.Is(err, ErrNoGrant), errors.Is(err, ErrStaleGrant):
 		http.Error(w, err.Error(), http.StatusForbidden)
 	case errors.Is(err, ErrDuplicate):
 		http.Error(w, err.Error(), http.StatusConflict)
@@ -117,7 +117,9 @@ func (s *Server) handlePutRecord(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if core.Type(category) != sealed.KEM.Type {
+	// The sealed wire type may carry a rotation-epoch suffix; the routing
+	// category is always the logical one.
+	if Category(category) != BaseCategory(sealed.KEM.Type) {
 		http.Error(w, "category header does not match sealed type", http.StatusBadRequest)
 		return
 	}
@@ -374,7 +376,18 @@ func (c *Client) DiscloseCategoryStream(patient string, category Category, reque
 		return err
 	}
 	defer body.Close()
-	br := bufio.NewReader(body)
+	return DecodeBulkStream(body, yield)
+}
+
+// DecodeBulkStream incrementally decodes a length-prefixed bulk-disclosure
+// response — the wire format handleDiscloseCategory produces — calling
+// yield once per decoded container. It is the single decoder of that
+// framing (the client uses it, and the fuzz target hammers it with
+// truncated, oversized and hostile frames): a malformed stream returns an
+// error after the frames decoded so far, and a frame length beyond the
+// protocol limit is rejected before any allocation of that size.
+func DecodeBulkStream(r io.Reader, yield func(*hybrid.ReCiphertext) error) error {
+	br := bufio.NewReader(r)
 	var prefix [4]byte
 	for {
 		if _, err := io.ReadFull(br, prefix[:]); err != nil {

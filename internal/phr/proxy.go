@@ -12,9 +12,19 @@ import (
 // Proxy errors.
 var (
 	ErrNoGrant = errors.New("phr: no re-encryption grant for this request")
+	// ErrStaleGrant marks a grant that predates the category's key
+	// rotation: it is still installed, but the records have been re-sealed
+	// under a newer type epoch and the rekey can no longer transform them.
+	ErrStaleGrant = errors.New("phr: grant predates the category's key rotation")
+	// ErrBreakGlassReason is returned when the break-glass path is invoked
+	// without a reason; the audited reason is mandatory.
+	ErrBreakGlassReason = errors.New("phr: break-glass access requires a reason")
 )
 
-// grantKey identifies one installed delegation.
+// grantKey identifies one installed delegation by its *logical* category:
+// a rotation-epoch rekey for "emergency#e2" is keyed under "emergency", so
+// re-granting after a rotation replaces the stale grant instead of
+// accumulating one entry per epoch.
 type grantKey struct {
 	patient   string
 	category  Category
@@ -46,19 +56,24 @@ func (p *Proxy) Audit() *AuditLog { return p.audit }
 
 // Install registers a re-encryption grant, preparing it for reuse across
 // requests. The rekey's own metadata determines the (patient, category,
-// requester) triple, so a mislabeled installation is impossible.
+// requester) triple, so a mislabeled installation is impossible. A rekey
+// for a newer rotation epoch of the same logical category replaces the
+// stale grant (and its prepared pairing cache) outright.
 func (p *Proxy) Install(rk *core.ReKey) error {
 	if rk == nil || rk.RK == nil {
 		return fmt.Errorf("phr: invalid rekey")
 	}
-	k := grantKey{rk.DelegatorID, rk.Type, rk.DelegateeID}
+	k := grantKey{rk.DelegatorID, BaseCategory(rk.Type), rk.DelegateeID}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.grants[k] = core.PrepareReKey(rk)
 	return nil
 }
 
-// Revoke removes a grant. Returns ErrNoGrant when absent.
+// Revoke removes a grant. Returns ErrNoGrant when absent. Removal drops
+// the prepared rekey — and with it the cached pairing adjustments — so a
+// revoked pair cannot be served from any warm cache, and any in-flight
+// streaming disclosure for the pair terminates before its next record.
 func (p *Proxy) Revoke(patientID string, c Category, requester string) error {
 	k := grantKey{patientID, c, requester}
 	p.mu.Lock()
@@ -85,6 +100,13 @@ func (p *Proxy) lookup(patientID string, c Category, requester string) (*core.Pr
 	return rk, ok
 }
 
+// staleErr builds the denial for a grant whose epoch no longer matches the
+// stored records.
+func staleErr(patientID string, c Category, requester string, grantType, sealedType core.Type) error {
+	return fmt.Errorf("%w: %s/%s for %s (grant epoch %q, records sealed as %q)",
+		ErrStaleGrant, patientID, c, requester, grantType, sealedType)
+}
+
 // Disclose fetches a record from the store and re-encrypts it toward the
 // requester, enforcing the grant table and writing an audit entry either
 // way. This is the §5 on-demand disclosure path.
@@ -104,6 +126,13 @@ func (p *Proxy) Disclose(store *Store, recordID, requester string) (*hybrid.ReCi
 			Category: rec.Category, Requester: requester, Outcome: OutcomeNoGrant,
 		})
 		return nil, fmt.Errorf("%w: %s/%s for %s", ErrNoGrant, rec.PatientID, rec.Category, requester)
+	}
+	if rk.ReKey().Type != rec.Sealed.KEM.Type {
+		p.audit.Append(AuditEntry{
+			Proxy: p.name, PatientID: rec.PatientID, RecordID: recordID,
+			Category: rec.Category, Requester: requester, Outcome: OutcomeStaleGrant,
+		})
+		return nil, staleErr(rec.PatientID, rec.Category, requester, rk.ReKey().Type, rec.Sealed.KEM.Type)
 	}
 	rct, err := hybrid.ReEncryptPrepared(rec.Sealed, rk)
 	if err != nil {
@@ -151,27 +180,58 @@ func (p *Proxy) DiscloseCategory(store *Store, patientID string, c Category, req
 // the pool size, not the record count, so the HTTP layer can stream frames
 // to the wire as they are produced.
 //
+// Revocation wins over an in-flight stream: before each record is
+// released, the grant is re-checked, and a pair revoked (or re-keyed)
+// mid-stream stops the stream with ErrNoGrant before the next record
+// leaves the proxy.
+//
 // Audit semantics match the serial path: one granted entry per disclosed
 // record; a denial or a failed transformation is audited once.
 func (p *Proxy) DiscloseCategoryStream(store *Store, patientID string, c Category, requester string, yield func(*hybrid.ReCiphertext) error) error {
+	return p.discloseCategoryStream(store, patientID, c, requester, OutcomeGranted, "", yield)
+}
+
+// discloseCategoryStream is the shared bulk-disclosure engine; outcome and
+// note parameterize how each released record is audited (OutcomeGranted
+// for the regular path, OutcomeBreakGlass plus the mandatory reason for
+// emergency access).
+func (p *Proxy) discloseCategoryStream(store *Store, patientID string, c Category, requester string, outcome Outcome, note string, yield func(*hybrid.ReCiphertext) error) error {
 	rk, ok := p.lookup(patientID, c, requester)
 	if !ok {
 		p.audit.Append(AuditEntry{
 			Proxy: p.name, PatientID: patientID, Category: c,
-			Requester: requester, Outcome: OutcomeNoGrant,
+			Requester: requester, Outcome: OutcomeNoGrant, Note: note,
 		})
 		return fmt.Errorf("%w: %s/%s for %s", ErrNoGrant, patientID, c, requester)
 	}
 	recs := store.ListByPatientCategory(patientID, c)
+	grantType := rk.ReKey().Type
+	for _, rec := range recs {
+		if rec.Sealed.KEM.Type != grantType {
+			p.audit.Append(AuditEntry{
+				Proxy: p.name, PatientID: patientID, RecordID: rec.ID,
+				Category: c, Requester: requester, Outcome: OutcomeStaleGrant, Note: note,
+			})
+			return staleErr(patientID, c, requester, grantType, rec.Sealed.KEM.Type)
+		}
+	}
 	cts := make([]*hybrid.Ciphertext, len(recs))
 	for i, rec := range recs {
 		cts[i] = rec.Sealed
 	}
 	next := 0
 	var yieldErr error // consumer rejection, not a transformation failure
+	revoked := false
 	err := hybrid.ReEncryptStream(cts, rk, 0, func(rct *hybrid.ReCiphertext) error {
 		rec := recs[next]
 		next++
+		// Re-check liveness before the record leaves the proxy: a revoked
+		// pair — or one re-keyed to a fresh grant — must not keep being
+		// served from the snapshot this stream started with.
+		if cur, live := p.lookup(patientID, c, requester); !live || cur != rk {
+			revoked = true
+			return fmt.Errorf("%w: %s/%s for %s (revoked mid-stream)", ErrNoGrant, patientID, c, requester)
+		}
 		if e := yield(rct); e != nil {
 			yieldErr = e
 			return e
@@ -181,20 +241,40 @@ func (p *Proxy) DiscloseCategoryStream(store *Store, patientID string, c Categor
 		// logged as disclosed.
 		p.audit.Append(AuditEntry{
 			Proxy: p.name, PatientID: rec.PatientID, RecordID: rec.ID,
-			Category: rec.Category, Requester: requester, Outcome: OutcomeGranted,
+			Category: rec.Category, Requester: requester, Outcome: outcome, Note: note,
 		})
 		return nil
 	})
-	// Only a re-encryption failure is a proxy error worth auditing; a
-	// consumer that stops the stream (client disconnect, cancel) has every
-	// delivered record audited as granted already.
-	if err != nil && yieldErr == nil {
+	// A mid-stream revocation is audited as the denial it is; only a
+	// re-encryption failure is a proxy error; a consumer that stops the
+	// stream (client disconnect, cancel) has every delivered record
+	// audited already.
+	switch {
+	case revoked:
 		p.audit.Append(AuditEntry{
 			Proxy: p.name, PatientID: patientID, Category: c,
-			Requester: requester, Outcome: OutcomeError,
+			Requester: requester, Outcome: OutcomeNoGrant, Note: note,
+		})
+	case err != nil && yieldErr == nil:
+		p.audit.Append(AuditEntry{
+			Proxy: p.name, PatientID: patientID, Category: c,
+			Requester: requester, Outcome: OutcomeError, Note: note,
 		})
 	}
 	return err
+}
+
+// BreakGlass is the emergency-access bulk disclosure path: identical
+// cryptographic enforcement to DiscloseCategoryStream — break-glass does
+// not bypass the grant table, it uses a pre-authorized emergency grant —
+// but every released record is audited with the distinguishable
+// OutcomeBreakGlass and the mandatory reason, and denials carry the reason
+// too, so an emergency access can never hide among routine disclosures.
+func (p *Proxy) BreakGlass(store *Store, patientID string, c Category, requester, reason string, yield func(*hybrid.ReCiphertext) error) error {
+	if reason == "" {
+		return ErrBreakGlassReason
+	}
+	return p.discloseCategoryStream(store, patientID, c, requester, OutcomeBreakGlass, reason, yield)
 }
 
 // DiscloseCategoryParallel is DiscloseCategory with the re-encryption

@@ -99,6 +99,29 @@ func (s *Service) Read(recordID string, requester *ibe.PrivateKey) ([]byte, erro
 	return hybrid.DecryptReEncrypted(requester, rct)
 }
 
+// BreakGlass performs emergency disclosure of a patient's
+// CategoryEmergency records toward a pre-authorized responder. It is the
+// same cryptographic path as any bulk disclosure — the responder must hold
+// a standing emergency grant; break-glass cannot conjure access the
+// patient never delegated — but every record released is audited with the
+// distinguishable OutcomeBreakGlass and the mandatory reason, and a denied
+// attempt is audited with the reason too.
+func (s *Service) BreakGlass(patientID, requesterID, reason string) ([]*hybrid.ReCiphertext, error) {
+	proxy, err := s.ProxyFor(CategoryEmergency)
+	if err != nil {
+		return nil, err
+	}
+	var out []*hybrid.ReCiphertext
+	err = proxy.BreakGlass(s.Store, patientID, CategoryEmergency, requesterID, reason, func(rct *hybrid.ReCiphertext) error {
+		out = append(out, rct)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // ReadCategory requests and decrypts every record of (patient, category).
 // Re-encryption runs on the parallel bulk path; results keep insertion
 // order.

@@ -57,6 +57,27 @@ func (s *Store) Put(r *EncryptedRecord) error {
 	return nil
 }
 
+// Replace swaps the sealed body of an existing record in place — the
+// store-side primitive of key rotation. The record must exist and keep its
+// routing metadata (patient and category): rotation changes what seals a
+// record, never where it lives in the indexes.
+func (s *Store) Replace(r *EncryptedRecord) error {
+	if r == nil || r.ID == "" {
+		return fmt.Errorf("phr: invalid record")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.byID[r.ID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, r.ID)
+	}
+	if cur.PatientID != r.PatientID || cur.Category != r.Category {
+		return fmt.Errorf("phr: replace of %s cannot change routing metadata", r.ID)
+	}
+	s.byID[r.ID] = r.Clone()
+	return nil
+}
+
 // Get fetches a record by ID.
 func (s *Store) Get(id string) (*EncryptedRecord, error) {
 	s.mu.RLock()

@@ -45,6 +45,14 @@ func StandardCategories() []Category {
 	}
 }
 
+// BaseCategory maps a sealed wire type back to its logical category by
+// stripping any rotation-epoch suffix: records, grants and audit entries
+// are always keyed by the logical category, whatever epoch the underlying
+// cryptography is at.
+func BaseCategory(t core.Type) Category {
+	return Category(core.BaseType(t))
+}
+
 // Record is a plaintext PHR entry as the patient sees it.
 type Record struct {
 	ID        string

@@ -101,7 +101,15 @@ type Workload struct {
 // and grants, with deterministic structure given the seed (the cryptography
 // itself uses crypto/rand and is necessarily randomized).
 func GenerateWorkload(cfg WorkloadConfig) (*Workload, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	return GenerateWorkloadFrom(cfg, rand.NewSource(cfg.Seed))
+}
+
+// GenerateWorkloadFrom is GenerateWorkload with an explicit randomness
+// source, so drills and benchmarks can reproduce a corpus exactly — or
+// share one progression of draws across several generations — independent
+// of the Seed field.
+func GenerateWorkloadFrom(cfg WorkloadConfig, src rand.Source) (*Workload, error) {
+	rng := rand.New(src)
 	kgc1, err := ibe.Setup("phr-kgc1", nil)
 	if err != nil {
 		return nil, err
