@@ -4,6 +4,12 @@
 // internal/phr/httpapi.go). Patients upload sealed records and install
 // grants; clinicians fetch re-encrypted records they decrypt locally. The
 // server never holds a decryption key.
+//
+// The server instruments every handler (per-endpoint latency/error
+// counters and an in-flight gauge, served on GET /v1/metrics) so numbers
+// reported by the cmd/phrload harness can be attributed server-side, and
+// optionally binds net/http/pprof on a separate address for profiling
+// under load.
 package main
 
 import (
@@ -11,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers profiling handlers on DefaultServeMux
 	"strings"
 
 	"typepre/internal/phr"
@@ -19,6 +26,7 @@ import (
 var (
 	addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
 	categories = flag.String("categories", "", "comma-separated category list (default: standard PHR categories)")
+	pprofAddr  = flag.String("pprof", "", "bind net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
 )
 
 func main() {
@@ -38,12 +46,21 @@ func main() {
 		log.Fatal("phrserver: no categories configured")
 	}
 
+	if *pprofAddr != "" {
+		go func() {
+			// pprof handlers live on DefaultServeMux; the API server below
+			// uses its own mux, so profiling stays off the service address.
+			log.Printf("pprof: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
 	svc := phr.NewService(cats)
 	fmt.Printf("phrserver: %d category proxies:\n", len(cats))
 	for _, c := range cats {
 		p, _ := svc.ProxyFor(c)
 		fmt.Printf("  %-20s served by %s\n", c, p.Name())
 	}
-	fmt.Printf("listening on http://%s\n", *addr)
+	fmt.Printf("listening on http://%s (metrics on /v1/metrics)\n", *addr)
 	log.Fatal(http.ListenAndServe(*addr, phr.NewServer(svc)))
 }

@@ -58,8 +58,11 @@ func aad(t core.Type, c1 interface{ Marshal() []byte }) []byte {
 
 // sealPayload encrypts msg under a key derived from k, authenticating the
 // type label and the KEM randomizer as associated data so a relabeled or
-// spliced ciphertext fails loudly.
-func sealPayload(k *bn254.GT, ad, msg []byte) (nonce, sealed []byte, err error) {
+// spliced ciphertext fails loudly. rng may be nil for crypto/rand; the
+// nonce is drawn from it so a caller supplying a deterministic source (the
+// workload generator's reproducible-corpus mode) gets byte-identical
+// ciphertexts.
+func sealPayload(k *bn254.GT, ad, msg []byte, rng io.Reader) (nonce, sealed []byte, err error) {
 	key := bn254.KDF(bn254.DomainKDF, k, keySize)
 	block, err := aes.NewCipher(key)
 	if err != nil {
@@ -69,8 +72,11 @@ func sealPayload(k *bn254.GT, ad, msg []byte) (nonce, sealed []byte, err error) 
 	if err != nil {
 		return nil, nil, fmt.Errorf("hybrid: %w", err)
 	}
+	if rng == nil {
+		rng = rand.Reader
+	}
 	nonce = make([]byte, nonceSize)
-	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+	if _, err := io.ReadFull(rng, nonce); err != nil {
 		return nil, nil, fmt.Errorf("hybrid: %w", err)
 	}
 	sealed = aead.Seal(nil, nonce, msg, ad)
@@ -110,7 +116,7 @@ func Encrypt(d *core.Delegator, msg []byte, t core.Type, rng io.Reader) (*Cipher
 	if err != nil {
 		return nil, err
 	}
-	nonce, sealed, err := sealPayload(k, aad(t, kem.C1), msg)
+	nonce, sealed, err := sealPayload(k, aad(t, kem.C1), msg, rng)
 	if err != nil {
 		return nil, err
 	}

@@ -76,6 +76,16 @@ func (c *ReCiphertext) Marshal() []byte {
 	return out
 }
 
+// AppendTo appends the Marshal encoding to out and returns the extended
+// slice, letting hot serving paths (the HTTP frame writer's buffer pool)
+// reuse one backing array across containers instead of allocating per
+// response.
+func (c *ReCiphertext) AppendTo(out []byte) []byte {
+	out = appendChunk(out, c.KEM.Marshal())
+	out = appendChunk(out, c.Nonce)
+	return appendChunk(out, c.Payload)
+}
+
 // UnmarshalReCiphertext decodes a re-encrypted hybrid ciphertext.
 func UnmarshalReCiphertext(data []byte) (*ReCiphertext, error) {
 	kem, data, err := readChunk(data)

@@ -1,6 +1,7 @@
 package phr
 
 import (
+	"encoding/json"
 	"sync"
 	"time"
 )
@@ -56,6 +57,15 @@ type AuditLog struct {
 	mu      sync.RWMutex
 	nextSeq uint64
 	entries []AuditEntry
+	// Incremental JSON encode cache: encBuf holds the comma-joined JSON
+	// encodings of entries[:encodedN] (the array body, no brackets).
+	// Entries are immutable once appended, so the cache only ever extends —
+	// serving the audit log costs O(entries appended since the last read)
+	// instead of re-marshaling the whole unbounded log per request. The
+	// cache roughly doubles the log's memory; an entry is ~200 bytes either
+	// way.
+	encBuf   []byte
+	encodedN int
 }
 
 // NewAuditLog returns an empty log.
@@ -81,6 +91,44 @@ func (l *AuditLog) Len() int {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	return len(l.entries)
+}
+
+// JSONBody returns the JSON array body (no surrounding brackets) of every
+// entry, in append order, extending the incremental encode cache with any
+// entries appended since the last call. The returned slice is a snapshot:
+// concurrent appends extend the cache past its length but never mutate the
+// bytes it covers, so callers may write it out without copying. Byte-for-
+// byte, "[" + body + "]" equals json.Marshal of Entries().
+func (l *AuditLog) JSONBody() ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for ; l.encodedN < len(l.entries); l.encodedN++ {
+		b, err := json.Marshal(l.entries[l.encodedN])
+		if err != nil {
+			return nil, err
+		}
+		if l.encodedN > 0 {
+			l.encBuf = append(l.encBuf, ',')
+		}
+		l.encBuf = append(l.encBuf, b...)
+	}
+	// Full-slice expression caps the snapshot so a later append that grows
+	// in place cannot be observed through it.
+	return l.encBuf[:len(l.encBuf):len(l.encBuf)], nil
+}
+
+// Tail returns (a copy of) the last n entries in append order; n <= 0 or
+// n >= Len returns everything.
+func (l *AuditLog) Tail(n int) []AuditEntry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	start := 0
+	if n > 0 && n < len(l.entries) {
+		start = len(l.entries) - n
+	}
+	out := make([]AuditEntry, len(l.entries)-start)
+	copy(out, l.entries[start:])
+	return out
 }
 
 // Entries returns a copy of all entries in append order.

@@ -10,10 +10,13 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
+	"sync"
 	"time"
 
 	"typepre/internal/core"
 	"typepre/internal/hybrid"
+	"typepre/internal/loadstat"
 )
 
 // HTTP API for the PHR disclosure service: the deployable form of the §5
@@ -24,9 +27,11 @@ import (
 //	POST   /v1/records                      upload a sealed record
 //	GET    /v1/records/{id}?requester=R     disclose one record toward R
 //	GET    /v1/patients/{p}/categories/{c}?requester=R   bulk disclosure
+//	POST   /v1/patients/{p}/breakglass?requester=R&reason=...   emergency access
 //	POST   /v1/grants                       install a marshaled rekey
 //	DELETE /v1/grants?patient=&category=&requester=      revoke
-//	GET    /v1/audit?category=C             audit entries (JSON)
+//	GET    /v1/audit?category=C[&limit=N]   audit entries (JSON)
+//	GET    /v1/metrics                      per-endpoint server metrics (JSON)
 //
 // Binary payloads use application/octet-stream with the package's own
 // framing; metadata rides in headers (X-Record-*). Full endpoint,
@@ -46,26 +51,146 @@ const (
 	MaxGrantBytes  = 1 << 20  // marshaled rekey upload
 )
 
-// Server exposes a Service over HTTP.
-type Server struct {
-	svc *Service
-	mux *http.ServeMux
+// Endpoint labels used by the server's own instrumentation and by the
+// cmd/phrload harness, so client-observed and server-observed metrics
+// attribute one to one.
+const (
+	EndpointPut        = "put"
+	EndpointDisclose   = "disclose"
+	EndpointStream     = "disclose-category-stream"
+	EndpointBreakGlass = "break-glass"
+	EndpointGrant      = "install-grant"
+	EndpointRevoke     = "revoke"
+	EndpointAudit      = "audit"
+)
+
+// ServerConfig carries measurement controls for the HTTP layer. The zero
+// value is the production configuration; the Legacy*/No* switches re-enable
+// pre-optimization code paths so cmd/phrload -compare can attribute the
+// hot-path fixes with a repeatable A/B run.
+type ServerConfig struct {
+	// LegacyAuditJSON re-marshals the entire audit log on every GET
+	// /v1/audit instead of serving the incremental encode cache.
+	LegacyAuditJSON bool
+	// NoFramePool marshals each disclosure response container into a fresh
+	// allocation and writes its length prefix separately, instead of using
+	// the pooled single-write frame path.
+	NoFramePool bool
 }
 
-// NewServer wraps a service.
-func NewServer(svc *Service) *Server {
-	s := &Server{svc: svc, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /v1/records", s.handlePutRecord)
-	s.mux.HandleFunc("GET /v1/records/{id...}", s.handleDisclose)
-	s.mux.HandleFunc("GET /v1/patients/{patient}/categories/{category}", s.handleDiscloseCategory)
-	s.mux.HandleFunc("POST /v1/grants", s.handleInstallGrant)
-	s.mux.HandleFunc("DELETE /v1/grants", s.handleRevokeGrant)
-	s.mux.HandleFunc("GET /v1/audit", s.handleAudit)
+// Server exposes a Service over HTTP.
+type Server struct {
+	svc   *Service
+	cfg   ServerConfig
+	mux   *http.ServeMux
+	start time.Time
+
+	// Per-endpoint request instrumentation; served by GET /v1/metrics.
+	metrics  *loadstat.Collector
+	inflight loadstat.Gauge
+}
+
+// NewServer wraps a service with the production configuration.
+func NewServer(svc *Service) *Server { return NewServerWith(svc, ServerConfig{}) }
+
+// NewServerWith wraps a service with explicit measurement controls.
+func NewServerWith(svc *Service, cfg ServerConfig) *Server {
+	s := &Server{
+		svc:     svc,
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		metrics: loadstat.NewCollector(),
+	}
+	s.handle("POST /v1/records", EndpointPut, s.handlePutRecord)
+	s.handle("GET /v1/records/{id...}", EndpointDisclose, s.handleDisclose)
+	s.handle("GET /v1/patients/{patient}/categories/{category}", EndpointStream, s.handleDiscloseCategory)
+	s.handle("POST /v1/patients/{patient}/breakglass", EndpointBreakGlass, s.handleBreakGlass)
+	s.handle("POST /v1/grants", EndpointGrant, s.handleInstallGrant)
+	s.handle("DELETE /v1/grants", EndpointRevoke, s.handleRevokeGrant)
+	s.handle("GET /v1/audit", EndpointAudit, s.handleAudit)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Metrics exposes the server-side per-endpoint recorders (test and
+// harness hook).
+func (s *Server) Metrics() *loadstat.Collector { return s.metrics }
+
+// statusWriter captures the response status for instrumentation. It
+// always implements http.Flusher — flushing degrades to a no-op when the
+// underlying writer cannot — so the streaming handlers behave identically
+// wrapped or not.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// handle registers a handler wrapped with per-endpoint instrumentation:
+// an in-flight gauge around the call and a latency/error observation per
+// request. The deferred Record also runs when a streaming handler aborts
+// the connection via panic(http.ErrAbortHandler).
+func (s *Server) handle(pattern, endpoint string, h http.HandlerFunc) {
+	rec := s.metrics.Endpoint(endpoint)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		begin := time.Now()
+		s.inflight.Inc()
+		defer func() {
+			s.inflight.Dec()
+			rec.Record(time.Since(begin), sw.status >= 400)
+		}()
+		h(sw, r)
+	})
+}
+
+// ServerMetrics is the GET /v1/metrics response body.
+type ServerMetrics struct {
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	InFlight      int64                    `json:"in_flight"`
+	InFlightHigh  int64                    `json:"in_flight_high"`
+	Endpoints     []loadstat.EndpointStats `json:"endpoints"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	uptime := time.Since(s.start)
+	m := ServerMetrics{
+		UptimeSeconds: uptime.Seconds(),
+		InFlight:      s.inflight.Value(),
+		InFlightHigh:  s.inflight.High(),
+		Endpoints:     s.metrics.Snapshot(uptime),
+	}
+	buf, err := json.Marshal(m)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf)
+}
 
 func httpError(w http.ResponseWriter, err error) {
 	switch {
@@ -137,6 +262,35 @@ func (s *Server) handlePutRecord(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusCreated)
 }
 
+// framePool recycles the response-encoding buffers of the disclosure
+// handlers: one container (plus its optional length prefix) is marshaled
+// into a pooled buffer and written with a single Write, instead of
+// allocating a fresh container-sized slice per record and issuing two
+// writes per frame. Buffers grow to the largest container they have
+// carried and are reused across requests and goroutines.
+var framePool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4096); return &b },
+}
+
+// writeContainer writes one marshaled container through the pool. With
+// prefix, the container is preceded by the 4-byte big-endian length the
+// bulk-stream framing uses.
+func writeContainer(w io.Writer, rct *hybrid.ReCiphertext, prefix bool) error {
+	bp := framePool.Get().(*[]byte)
+	b := (*bp)[:0]
+	if prefix {
+		b = append(b, 0, 0, 0, 0)
+	}
+	b = rct.AppendTo(b)
+	if prefix {
+		binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+	}
+	_, err := w.Write(b)
+	*bp = b
+	framePool.Put(bp)
+	return err
+}
+
 func (s *Server) handleDisclose(w http.ResponseWriter, r *http.Request) {
 	recordID := r.PathValue("id")
 	requester := r.URL.Query().Get("requester")
@@ -150,7 +304,11 @@ func (s *Server) handleDisclose(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Write(rct.Marshal())
+	if s.cfg.NoFramePool {
+		w.Write(rct.Marshal())
+		return
+	}
+	writeContainer(w, rct, false)
 }
 
 func (s *Server) handleDiscloseCategory(w http.ResponseWriter, r *http.Request) {
@@ -166,27 +324,60 @@ func (s *Server) handleDiscloseCategory(w http.ResponseWriter, r *http.Request) 
 		httpError(w, err)
 		return
 	}
-	// Stream length-prefixed containers as the worker pool finishes ordered
-	// items: same wire framing as the old buffered response, but the server
-	// holds at most a pool's worth of containers at a time. Errors that
-	// occur before the first frame (no grant, no records re-encryptable)
-	// still map to clean HTTP statuses; after the first frame the status
-	// line is already on the wire, so the only honest signal left is an
-	// aborted connection, which the client decoder reports as truncation.
+	s.streamFrames(w, func(frame func(*hybrid.ReCiphertext) error) error {
+		return proxy.DiscloseCategoryStream(s.svc.Store, patient, category, requester, frame)
+	})
+}
+
+// handleBreakGlass is the wire form of Service.BreakGlass: emergency bulk
+// disclosure through the responder's standing emergency grant, streamed
+// with the same framing as the category endpoint. The mandatory reason
+// rides in the query; its absence is a 400 before any audit traffic.
+func (s *Server) handleBreakGlass(w http.ResponseWriter, r *http.Request) {
+	patient := r.PathValue("patient")
+	q := r.URL.Query()
+	requester, reason := q.Get("requester"), q.Get("reason")
+	if requester == "" {
+		http.Error(w, "missing requester", http.StatusBadRequest)
+		return
+	}
+	proxy, err := s.svc.ProxyFor(CategoryEmergency)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	s.streamFrames(w, func(frame func(*hybrid.ReCiphertext) error) error {
+		return proxy.BreakGlass(s.svc.Store, patient, CategoryEmergency, requester, reason, frame)
+	})
+}
+
+// streamFrames runs a bulk-disclosure producer, writing each container as
+// a length-prefixed frame as the worker pool finishes ordered items: the
+// server holds at most a pool's worth of containers at a time. Errors that
+// occur before the first frame (no grant, no records re-encryptable, no
+// reason) still map to clean HTTP statuses; after the first frame the
+// status line is already on the wire, so the only honest signal left is an
+// aborted connection, which the client decoder reports as a typed
+// truncation error.
+func (s *Server) streamFrames(w http.ResponseWriter, produce func(func(*hybrid.ReCiphertext) error) error) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	flusher, _ := w.(http.Flusher)
 	wrote := false
-	err = proxy.DiscloseCategoryStream(s.svc.Store, patient, category, requester, func(rct *hybrid.ReCiphertext) error {
-		b := rct.Marshal()
-		var prefix [4]byte
-		binary.BigEndian.PutUint32(prefix[:], uint32(len(b)))
+	err := produce(func(rct *hybrid.ReCiphertext) error {
 		// The first Write attempt commits the 200 status even if it fails
 		// partway, so flip wrote before touching the ResponseWriter.
 		wrote = true
-		if _, err := w.Write(prefix[:]); err != nil {
-			return err
-		}
-		if _, err := w.Write(b); err != nil {
+		if s.cfg.NoFramePool {
+			b := rct.Marshal()
+			var prefix [4]byte
+			binary.BigEndian.PutUint32(prefix[:], uint32(len(b)))
+			if _, err := w.Write(prefix[:]); err != nil {
+				return err
+			}
+			if _, err := w.Write(b); err != nil {
+				return err
+			}
+		} else if err := writeContainer(w, rct, true); err != nil {
 			return err
 		}
 		if flusher != nil {
@@ -213,7 +404,10 @@ func (s *Server) handleInstallGrant(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	proxy, err := s.svc.ProxyFor(rk.Type)
+	// Route by the logical category: a post-rotation rekey carries a
+	// versioned wire type ("medication#e1") but proxies are deployed per
+	// base category, and Install itself keys grants by BaseCategory.
+	proxy, err := s.svc.ProxyFor(BaseCategory(rk.Type))
 	if err != nil {
 		httpError(w, err)
 		return
@@ -245,22 +439,59 @@ func (s *Server) handleRevokeGrant(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
-	category := Category(r.URL.Query().Get("category"))
+	q := r.URL.Query()
+	category := Category(q.Get("category"))
 	proxy, err := s.svc.ProxyFor(category)
 	if err != nil {
 		httpError(w, err)
 		return
 	}
-	// Marshal before touching the ResponseWriter so an encoding failure can
-	// still surface as a status code instead of a torn 200 body.
-	buf, err := json.Marshal(proxy.Audit().Entries())
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+	limit := 0
+	if ls := q.Get("limit"); ls != "" {
+		limit, err = strconv.Atoi(ls)
+		if err != nil || limit < 0 {
+			http.Error(w, "invalid limit", http.StatusBadRequest)
+			return
+		}
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusOK)
-	w.Write(buf)
+	// Marshal (or extend the encode cache) before touching the
+	// ResponseWriter so an encoding failure can still surface as a status
+	// code instead of a torn 200 body.
+	log := proxy.Audit()
+	switch {
+	case limit > 0:
+		// Bounded tails are small; marshal them directly.
+		buf, err := json.Marshal(log.Tail(limit))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(buf)
+	case s.cfg.LegacyAuditJSON:
+		// Pre-optimization path: re-encode the whole log every request.
+		buf, err := json.Marshal(log.Entries())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(buf)
+	default:
+		// Full log: serve the incremental encode cache — O(new entries)
+		// encoding work, zero-copy write of the cached body.
+		body, err := log.JSONBody()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)+2))
+		w.Write([]byte{'['})
+		w.Write(body)
+		w.Write([]byte{']'})
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -379,30 +610,47 @@ func (c *Client) DiscloseCategoryStream(patient string, category Category, reque
 	return DecodeBulkStream(body, yield)
 }
 
+// Bulk-stream decoding errors. A server that fails mid-stream (a
+// re-encryption error, a mid-stream revocation) can only signal by
+// aborting the connection after the 200 status line is committed; the
+// decoder surfaces that as ErrTruncatedStream, distinctly from a clean
+// end-of-stream (nil) and from a malformed frame (hybrid.ErrEncoding).
+var (
+	// ErrTruncatedStream marks a bulk stream that ended mid-frame: the
+	// connection was cut (server abort, network failure) after some number
+	// of complete frames.
+	ErrTruncatedStream = errors.New("phr: bulk stream truncated")
+	// ErrFrameTooLarge marks a frame whose length prefix exceeds the
+	// protocol limit; it is rejected before any allocation of that size.
+	ErrFrameTooLarge = errors.New("phr: bulk frame exceeds protocol limit")
+)
+
 // DecodeBulkStream incrementally decodes a length-prefixed bulk-disclosure
-// response — the wire format handleDiscloseCategory produces — calling
-// yield once per decoded container. It is the single decoder of that
-// framing (the client uses it, and the fuzz target hammers it with
-// truncated, oversized and hostile frames): a malformed stream returns an
-// error after the frames decoded so far, and a frame length beyond the
-// protocol limit is rejected before any allocation of that size.
+// response — the wire format the streaming disclosure endpoints produce —
+// calling yield once per decoded container. It is the single decoder of
+// that framing (the client uses it, and the fuzz target hammers it with
+// truncated, oversized and hostile frames). A clean EOF at a frame
+// boundary returns nil; a stream cut anywhere else returns an error
+// wrapping ErrTruncatedStream after the frames decoded so far; an absurd
+// length prefix returns an error wrapping ErrFrameTooLarge before any
+// allocation of that size.
 func DecodeBulkStream(r io.Reader, yield func(*hybrid.ReCiphertext) error) error {
 	br := bufio.NewReader(r)
 	var prefix [4]byte
-	for {
+	for frames := 0; ; frames++ {
 		if _, err := io.ReadFull(br, prefix[:]); err != nil {
 			if err == io.EOF {
 				return nil
 			}
-			return fmt.Errorf("phr: truncated bulk response: %w", err)
+			return fmt.Errorf("%w in frame header after %d complete frames: %w", ErrTruncatedStream, frames, err)
 		}
 		n := binary.BigEndian.Uint32(prefix[:])
 		if n > MaxRecordBytes+4096 {
-			return fmt.Errorf("phr: bulk item of %d bytes exceeds protocol limit", n)
+			return fmt.Errorf("%w: frame %d declares %d bytes", ErrFrameTooLarge, frames, n)
 		}
 		item := make([]byte, n)
 		if _, err := io.ReadFull(br, item); err != nil {
-			return fmt.Errorf("phr: truncated bulk item: %w", err)
+			return fmt.Errorf("%w in frame body after %d complete frames: %w", ErrTruncatedStream, frames, err)
 		}
 		rct, err := hybrid.UnmarshalReCiphertext(item)
 		if err != nil {
@@ -412,6 +660,43 @@ func DecodeBulkStream(r io.Reader, yield func(*hybrid.ReCiphertext) error) error
 			return err
 		}
 	}
+}
+
+// BreakGlass performs emergency disclosure of a patient's emergency
+// records toward a pre-authorized responder, streaming containers to yield
+// as frames arrive. The reason is mandatory (400 without it) and lands in
+// the audit log with every released record.
+func (c *Client) BreakGlass(patient, requester, reason string, yield func(*hybrid.ReCiphertext) error) error {
+	q := url.Values{"requester": {requester}, "reason": {reason}}
+	u := fmt.Sprintf("%s/v1/patients/%s/breakglass?%s",
+		c.Base, url.PathEscape(patient), q.Encode())
+	req, err := http.NewRequest("POST", u, nil)
+	if err != nil {
+		return err
+	}
+	body, err := c.doStream(req, http.StatusOK)
+	if err != nil {
+		return err
+	}
+	defer body.Close()
+	return DecodeBulkStream(body, yield)
+}
+
+// Metrics fetches the server's per-endpoint instrumentation snapshot.
+func (c *Client) Metrics() (*ServerMetrics, error) {
+	req, err := http.NewRequest("GET", c.Base+"/v1/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	body, err := c.do(req, http.StatusOK)
+	if err != nil {
+		return nil, err
+	}
+	var m ServerMetrics
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
 }
 
 // DiscloseCategory is DiscloseCategoryStream collected into a slice.

@@ -2,6 +2,7 @@ package phr
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 
 	"typepre/internal/ibe"
@@ -22,6 +23,13 @@ type WorkloadConfig struct {
 	// GrantsPerPatient is the number of (category, requester) grants each
 	// patient installs, sampled uniformly.
 	GrantsPerPatient int
+	// InsecureDeterministic drives *all* randomness — KGC master keys, KEM
+	// scalars, AES-GCM nonces — from the workload's seeded source instead
+	// of crypto/rand, making the generated corpus byte-identical across
+	// runs with the same seed. Strictly for reproducible tests and
+	// benchmarks: a corpus generated this way has predictable keys and
+	// must never hold real data.
+	InsecureDeterministic bool
 }
 
 // DefaultWorkload matches the paper's three-category example at a small,
@@ -110,11 +118,17 @@ func GenerateWorkload(cfg WorkloadConfig) (*Workload, error) {
 // of the Seed field.
 func GenerateWorkloadFrom(cfg WorkloadConfig, src rand.Source) (*Workload, error) {
 	rng := rand.New(src)
-	kgc1, err := ibe.Setup("phr-kgc1", nil)
+	// cryptoRNG is what the key-generation and encryption paths draw from:
+	// crypto/rand normally, the seeded source in reproducible-corpus mode.
+	var cryptoRNG io.Reader
+	if cfg.InsecureDeterministic {
+		cryptoRNG = rng
+	}
+	kgc1, err := ibe.Setup("phr-kgc1", cryptoRNG)
 	if err != nil {
 		return nil, err
 	}
-	kgc2, err := ibe.Setup("phr-kgc2", nil)
+	kgc2, err := ibe.Setup("phr-kgc2", cryptoRNG)
 	if err != nil {
 		return nil, err
 	}
@@ -144,7 +158,7 @@ func GenerateWorkloadFrom(cfg WorkloadConfig, src rand.Source) (*Workload, error
 			c := cfg.Categories[rng.Intn(len(cfg.Categories))]
 			body := make([]byte, cfg.BodySize)
 			rng.Read(body)
-			rec, err := p.AddRecord(w.Service.Store, c, body, nil)
+			rec, err := p.AddRecord(w.Service.Store, c, body, cryptoRNG)
 			if err != nil {
 				return nil, err
 			}
@@ -161,7 +175,11 @@ func GenerateWorkloadFrom(cfg WorkloadConfig, src rand.Source) (*Workload, error
 				continue
 			}
 			seen[k] = true
-			if err := w.Service.Grant(p, kgc2.Params(), req, c); err != nil {
+			proxy, err := w.Service.ProxyFor(c)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.Grant(proxy, kgc2.Params(), req, c, cryptoRNG); err != nil {
 				return nil, err
 			}
 			w.Grants = append(w.Grants, Grant{PatientID: p.ID(), Category: c, RequesterID: req})
