@@ -17,6 +17,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -37,6 +38,7 @@ import (
 	"typepre/internal/hybrid"
 	"typepre/internal/loadstat"
 	"typepre/internal/phr"
+	"typepre/internal/phr/diskstore"
 )
 
 // ---------------------------------------------------------------------------
@@ -48,6 +50,19 @@ type loadConfig struct {
 	Addr     string // base URL of a running phrserver; empty with Selftest
 	Selftest bool   // run against an in-process httptest server
 	Compare  bool   // A/B: legacy server config, then optimized (implies selftest)
+
+	// Store selects the backend of in-process servers: "mem", "disk" (a
+	// throwaway diskstore directory, fsync=interval), or "both" (one run
+	// per backend; -selftest only). Remote servers pick their own store.
+	Store string
+
+	// Spotcheck verifies a restarted -addr server instead of load-testing
+	// it: the deterministic corpus is regenerated, grants are re-installed,
+	// and every disclosable record is disclosed and decrypted against the
+	// known plaintext. MinRecords additionally gates on the server's
+	// store_records metric.
+	Spotcheck  bool
+	MinRecords int
 
 	Duration    time.Duration
 	Concurrency int
@@ -76,6 +91,7 @@ func defaultConfig() loadConfig {
 		Body:        256,
 		Seed:        1,
 		Mix:         "put=2,disclose=6,stream=3,grant=1,revoke=1,audit=2",
+		Store:       "mem",
 		Out:         "BENCH_phrload.json",
 	}
 }
@@ -167,6 +183,7 @@ type benchConfig struct {
 	BodyBytes         int     `json:"body_bytes"`
 	Seed              int64   `json:"seed"`
 	Mix               string  `json:"mix"`
+	Store             string  `json:"store,omitempty"`
 }
 
 type runResult struct {
@@ -505,14 +522,47 @@ func workloadConfig(cfg loadConfig) phr.WorkloadConfig {
 	return wc
 }
 
+// openLoadBackend builds the storage layer for an in-process pass. Disk
+// passes get a throwaway directory and interval fsync: the run measures
+// the log's steady-state write/read path, not per-request fsync latency
+// (which -fsync=always on a real server adds; see docs/storage.md).
+func openLoadBackend(store string) (phr.Backend, func(), error) {
+	switch store {
+	case "", "mem":
+		return phr.NewStore(), func() {}, nil
+	case "disk":
+		dir, err := os.MkdirTemp("", "phrload-disk-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		s, err := diskstore.Open(dir, diskstore.Options{Fsync: diskstore.FsyncInterval})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		return s, func() { s.Close(); os.RemoveAll(dir) }, nil
+	default:
+		return nil, nil, fmt.Errorf("phrload: unknown -store %q (want mem, disk, or both)", store)
+	}
+}
+
 // runPass materializes a fresh corpus, stands up (or attaches to) a
 // server, and drives one measured run against it.
-func runPass(cfg loadConfig, mix *opMix, label string, serverCfg phr.ServerConfig) (*runResult, error) {
-	w, err := phr.GenerateWorkload(workloadConfig(cfg))
+func runPass(cfg loadConfig, mix *opMix, label, store string, serverCfg phr.ServerConfig) (*runResult, error) {
+	wc := workloadConfig(cfg)
+	var base string
+	if cfg.Addr == "" {
+		backend, cleanup, err := openLoadBackend(store)
+		if err != nil {
+			return nil, err
+		}
+		defer cleanup()
+		wc.Backend = backend
+	}
+	w, err := phr.GenerateWorkload(wc)
 	if err != nil {
 		return nil, err
 	}
-	var base string
 	if cfg.Addr != "" {
 		base = strings.TrimRight(cfg.Addr, "/")
 	} else {
@@ -548,6 +598,12 @@ func runBench(cfg loadConfig) (*benchFile, error) {
 	case !cfg.Selftest:
 		return nil, fmt.Errorf("phrload: need -addr, -selftest, or -compare")
 	}
+	if cfg.Store == "both" && mode != "selftest" {
+		return nil, fmt.Errorf("phrload: -store=both needs -selftest (got mode %s)", mode)
+	}
+	if cfg.Addr != "" && cfg.Store != "mem" {
+		return nil, fmt.Errorf("phrload: -store selects in-process backends; a remote server chooses its own")
+	}
 
 	bf := &benchFile{
 		Schema:    benchSchema,
@@ -564,15 +620,16 @@ func runBench(cfg loadConfig) (*benchFile, error) {
 			BodyBytes:         cfg.Body,
 			Seed:              cfg.Seed,
 			Mix:               cfg.Mix,
+			Store:             cfg.Store,
 		},
 	}
 
 	if cfg.Compare {
-		legacy, err := runPass(cfg, mix, "legacy", phr.ServerConfig{LegacyAuditJSON: true, NoFramePool: true})
+		legacy, err := runPass(cfg, mix, "legacy", cfg.Store, phr.ServerConfig{LegacyAuditJSON: true, NoFramePool: true})
 		if err != nil {
 			return nil, err
 		}
-		optimized, err := runPass(cfg, mix, "optimized", phr.ServerConfig{})
+		optimized, err := runPass(cfg, mix, "optimized", cfg.Store, phr.ServerConfig{})
 		if err != nil {
 			return nil, err
 		}
@@ -592,14 +649,95 @@ func runBench(cfg loadConfig) (*benchFile, error) {
 				ImprovementX: b.MeanUs / a.MeanUs,
 			}
 		}
+	} else if cfg.Store == "both" {
+		// The memory-vs-disk dimension: same deterministic corpus and mix
+		// against each backend, labeled by store.
+		for _, store := range []string{"mem", "disk"} {
+			run, err := runPass(cfg, mix, "selftest-"+store, store, phr.ServerConfig{})
+			if err != nil {
+				return nil, err
+			}
+			bf.Runs = append(bf.Runs, *run)
+		}
 	} else {
-		run, err := runPass(cfg, mix, mode, phr.ServerConfig{})
+		run, err := runPass(cfg, mix, mode, cfg.Store, phr.ServerConfig{})
 		if err != nil {
 			return nil, err
 		}
 		bf.Runs = []runResult{*run}
 	}
 	return bf, nil
+}
+
+// runSpotcheck verifies a restarted server end to end: the deterministic
+// corpus is regenerated from the same flags, the server must still hold at
+// least -min-records records (crash-recovery gate), and every disclosable
+// record must disclose and decrypt to the exact plaintext generated before
+// the restart. Grants are re-installed first — they are proxy-local state
+// and are expected to be lost on restart, unlike records.
+func runSpotcheck(cfg loadConfig) error {
+	if cfg.Addr == "" {
+		return fmt.Errorf("phrload: -spotcheck needs -addr")
+	}
+	w, err := phr.GenerateWorkload(workloadConfig(cfg))
+	if err != nil {
+		return err
+	}
+	client := &phr.Client{Base: strings.TrimRight(cfg.Addr, "/"), HTTP: http.DefaultClient}
+
+	sm, err := client.Metrics()
+	if err != nil {
+		return fmt.Errorf("phrload: reading server metrics: %w", err)
+	}
+	if sm.StoreRecords < cfg.MinRecords {
+		return fmt.Errorf("phrload: server holds %d records, want >= %d — acknowledged writes were lost",
+			sm.StoreRecords, cfg.MinRecords)
+	}
+
+	patients := map[string]*phr.Patient{}
+	for _, pat := range w.Patients {
+		patients[pat.ID()] = pat
+	}
+	for _, g := range w.Grants {
+		pat := patients[g.PatientID]
+		rk, err := pat.Delegator().Delegate(w.KGC2.Params(), g.RequesterID,
+			core.VersionedType(core.Type(g.Category), pat.Epoch(g.Category)), nil)
+		if err != nil {
+			return err
+		}
+		if err := client.InstallGrant(rk); err != nil {
+			return fmt.Errorf("phrload: re-installing grant %v: %w", g, err)
+		}
+	}
+
+	byPC := map[string][]string{}
+	for _, g := range w.Grants {
+		k := g.PatientID + "\x00" + string(g.Category)
+		byPC[k] = append(byPC[k], g.RequesterID)
+	}
+	checked := 0
+	for _, rec := range w.Records {
+		for _, req := range byPC[rec.PatientID+"\x00"+string(rec.Category)] {
+			rct, err := client.Disclose(rec.ID, req)
+			if err != nil {
+				return fmt.Errorf("phrload: disclosing %s to %s after restart: %w", rec.ID, req, err)
+			}
+			body, err := hybrid.DecryptReEncrypted(w.Requesters[req], rct)
+			if err != nil {
+				return fmt.Errorf("phrload: decrypting %s after restart: %w", rec.ID, err)
+			}
+			if !bytes.Equal(body, w.Bodies[rec.ID]) {
+				return fmt.Errorf("phrload: record %s decrypted to different plaintext after restart", rec.ID)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("phrload: spotcheck disclosed nothing; raise -grants or -records")
+	}
+	fmt.Printf("spotcheck ok: %d records on server (>= %d required), %d disclosures decrypted byte-identical\n",
+		sm.StoreRecords, cfg.MinRecords, checked)
+	return nil
 }
 
 // resolveRev picks the recorded git revision: the -rev flag (CI passes the
@@ -654,10 +792,21 @@ func main() {
 	flag.IntVar(&cfg.Body, "body", cfg.Body, "workload: record body bytes")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "workload seed (deterministic corpus)")
 	flag.StringVar(&cfg.Mix, "mix", cfg.Mix, "op profile as name=weight pairs")
+	flag.StringVar(&cfg.Store, "store", cfg.Store, "in-process backend: mem, disk, or both (selftest only)")
+	flag.BoolVar(&cfg.Spotcheck, "spotcheck", false, "verify a restarted -addr server against the regenerated corpus instead of load-testing")
+	flag.IntVar(&cfg.MinRecords, "min-records", 0, "with -spotcheck: fail unless the server holds at least this many records")
 	flag.StringVar(&cfg.Out, "out", cfg.Out, "output JSON path")
 	flag.StringVar(&cfg.Rev, "rev", "", "git revision to record (default: build info / GITHUB_SHA)")
 	check := flag.String("check", "", "validate an existing BENCH_phrload.json and exit")
 	flag.Parse()
+
+	if cfg.Spotcheck {
+		if err := runSpotcheck(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *check != "" {
 		data, err := os.ReadFile(*check)

@@ -5,6 +5,14 @@
 // grants; clinicians fetch re-encrypted records they decrypt locally. The
 // server never holds a decryption key.
 //
+// Storage is pluggable: -store=mem (default) keeps records in memory,
+// -store=disk persists them to an append-only segment log under -dir that
+// survives restarts and crashes (see docs/storage.md). With -fsync=always
+// every acknowledged write is on stable storage before the HTTP response;
+// -fsync=interval trades a bounded window of recent writes for throughput.
+// Grants are proxy-local state in either mode and must be re-installed
+// after a restart.
+//
 // The server instruments every handler (per-endpoint latency/error
 // counters and an in-flight gauge, served on GET /v1/metrics) so numbers
 // reported by the cmd/phrload harness can be attributed server-side, and
@@ -13,20 +21,32 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	_ "net/http/pprof" // registers profiling handlers on DefaultServeMux
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"typepre/internal/phr"
+	"typepre/internal/phr/diskstore"
 )
 
 var (
 	addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
 	categories = flag.String("categories", "", "comma-separated category list (default: standard PHR categories)")
 	pprofAddr  = flag.String("pprof", "", "bind net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
+
+	storeKind = flag.String("store", "mem", "storage backend: mem (volatile) or disk (crash-safe segment log)")
+	storeDir  = flag.String("dir", "", "data directory for -store=disk")
+	fsyncMode = flag.String("fsync", "always", "disk durability: always (sync before every ack) or interval (background sync)")
+	fsyncInt  = flag.Duration("fsync-interval", 100*time.Millisecond, "sync period for -fsync=interval")
 )
 
 func main() {
@@ -46,6 +66,11 @@ func main() {
 		log.Fatal("phrserver: no categories configured")
 	}
 
+	backend, err := openBackend()
+	if err != nil {
+		log.Fatalf("phrserver: %v", err)
+	}
+
 	if *pprofAddr != "" {
 		go func() {
 			// pprof handlers live on DefaultServeMux; the API server below
@@ -55,12 +80,65 @@ func main() {
 		fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
-	svc := phr.NewService(cats)
+	svc := phr.NewServiceWith(cats, backend)
 	fmt.Printf("phrserver: %d category proxies:\n", len(cats))
 	for _, c := range cats {
 		p, _ := svc.ProxyFor(c)
 		fmt.Printf("  %-20s served by %s\n", c, p.Name())
 	}
+
+	srv := &http.Server{Addr: *addr, Handler: phr.NewServer(svc)}
+
+	// Graceful shutdown: stop accepting requests, drain in-flight ones,
+	// then Close the backend so interval-mode disk stores flush their tail.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		s := <-sig
+		log.Printf("phrserver: %v, shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("phrserver: shutdown: %v", err)
+		}
+		if err := backend.Close(); err != nil {
+			log.Printf("phrserver: closing store: %v", err)
+		}
+	}()
+
 	fmt.Printf("listening on http://%s (metrics on /v1/metrics)\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, phr.NewServer(svc)))
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+}
+
+func openBackend() (phr.Backend, error) {
+	switch *storeKind {
+	case "mem":
+		return phr.NewStore(), nil
+	case "disk":
+		if *storeDir == "" {
+			return nil, fmt.Errorf("-store=disk requires -dir")
+		}
+		mode, err := diskstore.ParseFsyncMode(*fsyncMode)
+		if err != nil {
+			return nil, err
+		}
+		s, err := diskstore.Open(*storeDir, diskstore.Options{Fsync: mode, FsyncInterval: *fsyncInt})
+		if err != nil {
+			return nil, err
+		}
+		rec := s.Recovery()
+		fmt.Printf("disk store %s: %d records in %d segments (%d log entries", *storeDir, rec.Records, rec.Segments, rec.Entries)
+		if rec.TruncatedBytes > 0 {
+			fmt.Printf(", %d torn tail bytes truncated", rec.TruncatedBytes)
+		}
+		fmt.Printf("), fsync=%s\n", *fsyncMode)
+		return s, nil
+	default:
+		return nil, fmt.Errorf("unknown -store %q (want mem or disk)", *storeKind)
+	}
 }

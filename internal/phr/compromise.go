@@ -39,7 +39,7 @@ func (r *ExposureReport) Fraction() float64 {
 // corrupted proxy holds a grant for its (patient, category) pair —
 // precisely what the recovered type keys open (Theorem 1; verified
 // cryptographically by VerifyTypePREBreach and the tests).
-func SimulateTypePREBreach(store *Store, corrupted []*Proxy) *ExposureReport {
+func SimulateTypePREBreach(store Backend, corrupted []*Proxy) *ExposureReport {
 	// Keyed by the *sealed* wire type (category + rotation epoch), not the
 	// logical category: a rekey for an old epoch opens nothing that has
 	// been re-sealed since — rotation shrinks the blast radius.
@@ -57,7 +57,7 @@ func SimulateTypePREBreach(store *Store, corrupted []*Proxy) *ExposureReport {
 // SimulateTraditionalPREBreach computes the exposure of the same corruption
 // under a type-less PRE deployment: any grant from a patient exposes ALL of
 // that patient's records.
-func SimulateTraditionalPREBreach(store *Store, corrupted []*Proxy) *ExposureReport {
+func SimulateTraditionalPREBreach(store Backend, corrupted []*Proxy) *ExposureReport {
 	exposedPatients := map[string]bool{}
 	for _, p := range corrupted {
 		for _, rk := range p.CompromisedGrants() {
@@ -70,11 +70,17 @@ func SimulateTraditionalPREBreach(store *Store, corrupted []*Proxy) *ExposureRep
 }
 
 // exposureFrom walks every stored record and tallies the ones the given
-// predicate marks as exposed; counts are reported by logical category.
-func exposureFrom(store *Store, exposed func(*EncryptedRecord) bool) *ExposureReport {
+// predicate marks as exposed; counts are reported by logical category. A
+// backend read failure skips the unreadable patient — the simulation
+// reports what the attacker could actually read.
+func exposureFrom(store Backend, exposed func(*EncryptedRecord) bool) *ExposureReport {
 	rep := &ExposureReport{ExposedByCategory: map[Category]int{}}
 	for _, patient := range store.Patients() {
-		for _, rec := range store.ListByPatient(patient) {
+		recs, err := store.ListByPatient(patient)
+		if err != nil {
+			continue
+		}
+		for _, rec := range recs {
 			rep.TotalRecords++
 			if exposed(rec) {
 				rep.ExposedRecords++

@@ -1,0 +1,124 @@
+package diskstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"typepre/internal/phr"
+)
+
+// Compact rewrites every live record into fresh segments and deletes the
+// old ones, reclaiming the space of replaced and deleted entries. The
+// pass is crash-safe by ordering, not by atomicity:
+//
+//  1. live entries are copied into new segments numbered after the
+//     current active one, and synced;
+//  2. only then are the old segment files removed, oldest first.
+//
+// A crash at any point leaves a directory whose replay converges to the
+// same records: replay treats put as upsert, so surviving old entries are
+// overridden by the compacted copies that follow them, and a tombstone
+// can never outlive the put it deletes (the put's segment is always
+// removed first).
+//
+// Compact holds the write lock for its duration — reads and writes stall.
+// Call it from an operational window, not a request path.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("%w: store closed", phr.ErrStorage)
+	}
+
+	oldIDs := make([]int, 0, len(s.segs))
+	for id := range s.segs {
+		oldIDs = append(oldIDs, id)
+	}
+	sort.Ints(oldIDs)
+
+	// Seal the current log: everything from here on goes to new segments.
+	if s.dirty {
+		if err := s.segs[s.activeID].Sync(); err != nil {
+			return fmt.Errorf("%w: fsync: %v", phr.ErrStorage, err)
+		}
+		s.dirty = false
+	}
+	if err := s.createSegment(s.activeID + 1); err != nil {
+		return err
+	}
+
+	// Copy live entries in deterministic order (sorted patients,
+	// insertion order within a patient). Payload bytes are copied
+	// verbatim off disk; a replace entry becomes a put in the new log.
+	patients := make([]string, 0, len(s.byPatient))
+	for p := range s.byPatient {
+		patients = append(patients, p)
+	}
+	sort.Strings(patients)
+
+	newLocs := make(map[string]entryLoc, len(s.index))
+	var liveBytes int64
+	frame := []byte(nil)
+	for _, p := range patients {
+		for _, id := range s.byPatient[p] {
+			loc := s.index[id]
+			payload, err := s.readPayload(loc)
+			if err != nil {
+				return err
+			}
+			payload[0] = opPut
+			frame = frame[:0]
+			frame = binary.BigEndian.AppendUint32(frame, uint32(len(payload)))
+			frame = binary.BigEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+			frame = append(frame, payload...)
+
+			f := s.segs[s.activeID]
+			if _, err := f.WriteAt(frame, s.activeSize); err != nil {
+				return fmt.Errorf("%w: compact append: %v", phr.ErrStorage, err)
+			}
+			newLocs[id] = entryLoc{
+				seg: s.activeID, off: s.activeSize + frameHeaderLen,
+				n: int32(len(payload)), patient: loc.patient, category: loc.category,
+			}
+			s.activeSize += int64(len(frame))
+			liveBytes += int64(len(payload))
+			if s.activeSize >= s.opts.SegmentBytes {
+				if err := f.Sync(); err != nil {
+					return fmt.Errorf("%w: fsync: %v", phr.ErrStorage, err)
+				}
+				if err := s.createSegment(s.activeID + 1); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Make the compacted copies durable before any old entry disappears.
+	if err := s.segs[s.activeID].Sync(); err != nil {
+		return fmt.Errorf("%w: fsync: %v", phr.ErrStorage, err)
+	}
+
+	// Point the index at the new copies, then drop the old segments,
+	// oldest first.
+	for id, loc := range newLocs {
+		s.index[id] = loc
+	}
+	for _, id := range oldIDs {
+		if f, ok := s.segs[id]; ok {
+			f.Close()
+			delete(s.segs, id)
+		}
+		if err := os.Remove(filepath.Join(s.dir, segName(id))); err != nil {
+			return fmt.Errorf("%w: removing %s: %v", phr.ErrStorage, segName(id), err)
+		}
+	}
+	if err := s.syncDir(); err != nil {
+		return err
+	}
+	s.liveBytes = liveBytes
+	s.garbageBytes = 0
+	return nil
+}

@@ -172,7 +172,10 @@ type ServerMetrics struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
 	InFlight      int64                    `json:"in_flight"`
 	InFlightHigh  int64                    `json:"in_flight_high"`
-	Endpoints     []loadstat.EndpointStats `json:"endpoints"`
+	// StoreRecords is the backend's current record count — the durability
+	// gate the crash-recovery CI job compares across a SIGKILL/restart.
+	StoreRecords int                      `json:"store_records"`
+	Endpoints    []loadstat.EndpointStats `json:"endpoints"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -181,6 +184,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: uptime.Seconds(),
 		InFlight:      s.inflight.Value(),
 		InFlightHigh:  s.inflight.High(),
+		StoreRecords:  s.svc.Store.Count(),
 		Endpoints:     s.metrics.Snapshot(uptime),
 	}
 	buf, err := json.Marshal(m)
@@ -202,6 +206,9 @@ func httpError(w http.ResponseWriter, err error) {
 		http.Error(w, err.Error(), http.StatusConflict)
 	case errors.Is(err, ErrNoProxy):
 		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, ErrStorage):
+		// The request was fine; the storage layer failed it.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 	default:
 		http.Error(w, err.Error(), http.StatusBadRequest)
 	}

@@ -161,7 +161,7 @@ func TestRotateTypeKeyLifecycle(t *testing.T) {
 	// Every stored record is re-sealed under the epoch-1 wire type, still
 	// indexed under the logical category.
 	wantType := core.VersionedType(core.Type(CategoryMedication), 1)
-	recs := s.svc.Store.ListByPatientCategory(s.alice.ID(), CategoryMedication)
+	recs := mustList(t, s.svc.Store, s.alice.ID(), CategoryMedication)
 	if len(recs) != len(want) {
 		t.Fatalf("store lists %d records after rotation, want %d", len(recs), len(want))
 	}

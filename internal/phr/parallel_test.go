@@ -37,7 +37,7 @@ func TestDiscloseCategoryParallelMatchesSerial(t *testing.T) {
 	if len(serial) != 24 || len(parallel) != 24 {
 		t.Fatalf("serial=%d parallel=%d, want 24", len(serial), len(parallel))
 	}
-	recs := w.Service.Store.ListByPatientCategory(patient, CategoryEmergency)
+	recs := mustList(t, w.Service.Store, patient, CategoryEmergency)
 	for i := range parallel {
 		want := w.Bodies[recs[i].ID]
 		gotP, err := hybrid.DecryptReEncrypted(key, parallel[i])
@@ -59,7 +59,7 @@ func TestDiscloseCategoryParallelMatchesSerial(t *testing.T) {
 func TestDiscloseCategoryStreamOrderAndAudit(t *testing.T) {
 	w, proxy, patient, requester := bulkWorkload(t, 8)
 	key := w.Requesters[requester]
-	recs := w.Service.Store.ListByPatientCategory(patient, CategoryEmergency)
+	recs := mustList(t, w.Service.Store, patient, CategoryEmergency)
 	before := proxy.Audit().Len()
 
 	i := 0
@@ -128,7 +128,7 @@ func TestDiscloseCategoryParallelNoGrant(t *testing.T) {
 func TestDiscloseCategoryParallelConcurrentRequesters(t *testing.T) {
 	w, proxy, patient, requester := bulkWorkload(t, 16)
 	key := w.Requesters[requester]
-	recs := w.Service.Store.ListByPatientCategory(patient, CategoryEmergency)
+	recs := mustList(t, w.Service.Store, patient, CategoryEmergency)
 
 	var wg sync.WaitGroup
 	errs := make(chan error, 4)

@@ -54,7 +54,7 @@ func (p *Patient) effectiveType(c Category) core.Type {
 }
 
 // AddRecord encrypts a record body under the given category and stores it.
-func (p *Patient) AddRecord(store *Store, c Category, body []byte, rng io.Reader) (*EncryptedRecord, error) {
+func (p *Patient) AddRecord(store Backend, c Category, body []byte, rng io.Reader) (*EncryptedRecord, error) {
 	sealed, err := hybrid.Encrypt(p.delegator, body, p.effectiveType(c), rng)
 	if err != nil {
 		return nil, fmt.Errorf("phr: add record: %w", err)
@@ -80,7 +80,7 @@ func (p *Patient) AddRecord(store *Store, c Category, body []byte, rng io.Reader
 // ReadOwn decrypts one of the patient's own records. The sealed ciphertext
 // carries its own (possibly rotated) wire type, so records of every epoch
 // stay readable to the owner.
-func (p *Patient) ReadOwn(store *Store, recordID string) ([]byte, error) {
+func (p *Patient) ReadOwn(store Backend, recordID string) ([]byte, error) {
 	rec, err := store.Get(recordID)
 	if err != nil {
 		return nil, err
@@ -118,7 +118,7 @@ func (p *Patient) Revoke(proxy *Proxy, requesterID string, c Category) error {
 // Rotation must not race with AddRecord or Grant on the same category: a
 // record sealed under the old epoch after the re-seal pass would be
 // stranded stale. Returns the number of records re-sealed.
-func (p *Patient) RotateTypeKey(store *Store, c Category, rng io.Reader) (int, error) {
+func (p *Patient) RotateTypeKey(store Backend, c Category, rng io.Reader) (int, error) {
 	p.mu.Lock()
 	p.epochs[c]++
 	epoch := p.epochs[c]
@@ -126,7 +126,11 @@ func (p *Patient) RotateTypeKey(store *Store, c Category, rng io.Reader) (int, e
 
 	newType := core.VersionedType(core.Type(c), epoch)
 	resealed := 0
-	for _, rec := range store.ListByPatientCategory(p.id, c) {
+	recs, err := store.ListByPatientCategory(p.id, c)
+	if err != nil {
+		return 0, fmt.Errorf("phr: rotate %s/%s: %w", p.id, c, err)
+	}
+	for _, rec := range recs {
 		if rec.Sealed.KEM.Type == newType {
 			continue
 		}

@@ -196,7 +196,7 @@ func TestStoreIndexes(t *testing.T) {
 	if len(cats) != 2 {
 		t.Fatalf("alice categories = %v", cats)
 	}
-	recs := s.svc.Store.ListByPatientCategory("alice@phr.example", CategoryEmergency)
+	recs := mustList(t, s.svc.Store, "alice@phr.example", CategoryEmergency)
 	if len(recs) != 1 {
 		t.Fatalf("index returned %d records, want 1", len(recs))
 	}
@@ -245,7 +245,10 @@ func TestStoreConcurrentAccess(t *testing.T) {
 					errs <- err
 					return
 				}
-				s.svc.Store.ListByPatient(rec.PatientID)
+				if _, err := s.svc.Store.ListByPatient(rec.PatientID); err != nil {
+					errs <- err
+					return
+				}
 			}
 		}(g)
 	}
@@ -400,4 +403,15 @@ func TestReadOwnWrongPatientRejected(t *testing.T) {
 	if _, err := carol.ReadOwn(s.svc.Store, rec.ID); err == nil {
 		t.Fatal("another patient read a foreign record")
 	}
+}
+
+// mustList is the test-side wrapper over Backend list reads: the memory
+// backend cannot fail them, so a non-nil error is a test bug.
+func mustList(t *testing.T, b Backend, patientID string, c Category) []*EncryptedRecord {
+	t.Helper()
+	recs, err := b.ListByPatientCategory(patientID, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
 }

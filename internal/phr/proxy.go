@@ -110,7 +110,7 @@ func staleErr(patientID string, c Category, requester string, grantType, sealedT
 // Disclose fetches a record from the store and re-encrypts it toward the
 // requester, enforcing the grant table and writing an audit entry either
 // way. This is the §5 on-demand disclosure path.
-func (p *Proxy) Disclose(store *Store, recordID, requester string) (*hybrid.ReCiphertext, error) {
+func (p *Proxy) Disclose(store Backend, recordID, requester string) (*hybrid.ReCiphertext, error) {
 	rec, err := store.Get(recordID)
 	if err != nil {
 		p.audit.Append(AuditEntry{
@@ -152,7 +152,7 @@ func (p *Proxy) Disclose(store *Store, recordID, requester string) (*hybrid.ReCi
 // DiscloseCategory re-encrypts every record of (patient, category) toward
 // the requester — the bulk path used in emergencies (§5: "the PHR data can
 // be disclosed on demand by the proxy").
-func (p *Proxy) DiscloseCategory(store *Store, patientID string, c Category, requester string) ([]*hybrid.ReCiphertext, error) {
+func (p *Proxy) DiscloseCategory(store Backend, patientID string, c Category, requester string) ([]*hybrid.ReCiphertext, error) {
 	if _, ok := p.lookup(patientID, c, requester); !ok {
 		p.audit.Append(AuditEntry{
 			Proxy: p.name, PatientID: patientID, Category: c,
@@ -160,7 +160,14 @@ func (p *Proxy) DiscloseCategory(store *Store, patientID string, c Category, req
 		})
 		return nil, fmt.Errorf("%w: %s/%s for %s", ErrNoGrant, patientID, c, requester)
 	}
-	recs := store.ListByPatientCategory(patientID, c)
+	recs, err := store.ListByPatientCategory(patientID, c)
+	if err != nil {
+		p.audit.Append(AuditEntry{
+			Proxy: p.name, PatientID: patientID, Category: c,
+			Requester: requester, Outcome: OutcomeError,
+		})
+		return nil, err
+	}
 	out := make([]*hybrid.ReCiphertext, 0, len(recs))
 	for _, rec := range recs {
 		rct, err := p.Disclose(store, rec.ID, requester)
@@ -187,7 +194,7 @@ func (p *Proxy) DiscloseCategory(store *Store, patientID string, c Category, req
 //
 // Audit semantics match the serial path: one granted entry per disclosed
 // record; a denial or a failed transformation is audited once.
-func (p *Proxy) DiscloseCategoryStream(store *Store, patientID string, c Category, requester string, yield func(*hybrid.ReCiphertext) error) error {
+func (p *Proxy) DiscloseCategoryStream(store Backend, patientID string, c Category, requester string, yield func(*hybrid.ReCiphertext) error) error {
 	return p.discloseCategoryStream(store, patientID, c, requester, OutcomeGranted, "", yield)
 }
 
@@ -195,7 +202,7 @@ func (p *Proxy) DiscloseCategoryStream(store *Store, patientID string, c Categor
 // note parameterize how each released record is audited (OutcomeGranted
 // for the regular path, OutcomeBreakGlass plus the mandatory reason for
 // emergency access).
-func (p *Proxy) discloseCategoryStream(store *Store, patientID string, c Category, requester string, outcome Outcome, note string, yield func(*hybrid.ReCiphertext) error) error {
+func (p *Proxy) discloseCategoryStream(store Backend, patientID string, c Category, requester string, outcome Outcome, note string, yield func(*hybrid.ReCiphertext) error) error {
 	rk, ok := p.lookup(patientID, c, requester)
 	if !ok {
 		p.audit.Append(AuditEntry{
@@ -204,7 +211,14 @@ func (p *Proxy) discloseCategoryStream(store *Store, patientID string, c Categor
 		})
 		return fmt.Errorf("%w: %s/%s for %s", ErrNoGrant, patientID, c, requester)
 	}
-	recs := store.ListByPatientCategory(patientID, c)
+	recs, err := store.ListByPatientCategory(patientID, c)
+	if err != nil {
+		p.audit.Append(AuditEntry{
+			Proxy: p.name, PatientID: patientID, Category: c,
+			Requester: requester, Outcome: OutcomeError, Note: note,
+		})
+		return err
+	}
 	grantType := rk.ReKey().Type
 	for _, rec := range recs {
 		if rec.Sealed.KEM.Type != grantType {
@@ -222,7 +236,7 @@ func (p *Proxy) discloseCategoryStream(store *Store, patientID string, c Categor
 	next := 0
 	var yieldErr error // consumer rejection, not a transformation failure
 	revoked := false
-	err := hybrid.ReEncryptStream(cts, rk, 0, func(rct *hybrid.ReCiphertext) error {
+	err = hybrid.ReEncryptStream(cts, rk, 0, func(rct *hybrid.ReCiphertext) error {
 		rec := recs[next]
 		next++
 		// Re-check liveness before the record leaves the proxy: a revoked
@@ -270,7 +284,7 @@ func (p *Proxy) discloseCategoryStream(store *Store, patientID string, c Categor
 // but every released record is audited with the distinguishable
 // OutcomeBreakGlass and the mandatory reason, and denials carry the reason
 // too, so an emergency access can never hide among routine disclosures.
-func (p *Proxy) BreakGlass(store *Store, patientID string, c Category, requester, reason string, yield func(*hybrid.ReCiphertext) error) error {
+func (p *Proxy) BreakGlass(store Backend, patientID string, c Category, requester, reason string, yield func(*hybrid.ReCiphertext) error) error {
 	if reason == "" {
 		return ErrBreakGlassReason
 	}
@@ -281,7 +295,7 @@ func (p *Proxy) BreakGlass(store *Store, patientID string, c Category, requester
 // work spread across the worker pool: same results in the same (insertion)
 // order, near-linear scaling in GOMAXPROCS on multi-record patients (the
 // BenchmarkDiscloseCategory serial/parallel pair measures this).
-func (p *Proxy) DiscloseCategoryParallel(store *Store, patientID string, c Category, requester string) ([]*hybrid.ReCiphertext, error) {
+func (p *Proxy) DiscloseCategoryParallel(store Backend, patientID string, c Category, requester string) ([]*hybrid.ReCiphertext, error) {
 	var out []*hybrid.ReCiphertext
 	err := p.DiscloseCategoryStream(store, patientID, c, requester, func(rct *hybrid.ReCiphertext) error {
 		out = append(out, rct)

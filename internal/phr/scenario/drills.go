@@ -55,7 +55,10 @@ func requesterIDs(w *phr.Workload) []string {
 // expectBodies checks that got matches the stored plaintexts of
 // (patient, category) in insertion order.
 func expectBodies(w *phr.Workload, patientID string, c phr.Category, got [][]byte) error {
-	recs := w.Service.Store.ListByPatientCategory(patientID, c)
+	recs, err := w.Service.Store.ListByPatientCategory(patientID, c)
+	if err != nil {
+		return err
+	}
 	if len(got) != len(recs) {
 		return fmt.Errorf("disclosed %d records, want %d", len(got), len(recs))
 	}
@@ -146,7 +149,10 @@ func RevocationDrill(seed int64) (*Drill, error) {
 					}
 					// Warm the prepared grant's pairing cache on the
 					// serial, parallel, and streaming paths.
-					recs := w.Service.Store.ListByPatientCategory(patient.ID(), phr.CategoryEmergency)
+					recs, err := w.Service.Store.ListByPatientCategory(patient.ID(), phr.CategoryEmergency)
+					if err != nil {
+						return err
+					}
 					for _, rec := range recs {
 						if _, err := w.Service.Read(rec.ID, requester); err != nil {
 							return err
@@ -178,7 +184,10 @@ func RevocationDrill(seed int64) (*Drill, error) {
 					}
 					// Exercise every disclosure path against the warm
 					// cache; invariants assert on the recorded errors.
-					recs := w.Service.Store.ListByPatientCategory(patient.ID(), phr.CategoryEmergency)
+					recs, err := w.Service.Store.ListByPatientCategory(patient.ID(), phr.CategoryEmergency)
+					if err != nil {
+						return err
+					}
 					_, serialErr = w.Service.Request(recs[0].ID, requester.ID)
 					_, bulkErr = proxy.DiscloseCategory(w.Service.Store, patient.ID(), phr.CategoryEmergency, requester.ID)
 					_, parallelErr = proxy.DiscloseCategoryParallel(w.Service.Store, patient.ID(), phr.CategoryEmergency, requester.ID)
@@ -300,7 +309,11 @@ func KeyRotationDrill(seed int64) (*Drill, error) {
 							return fmt.Errorf("epoch = %d, want 1", e)
 						}
 						wantType := core.VersionedType(core.Type(phr.CategoryMedication), 1)
-						for _, rec := range w.Service.Store.ListByPatientCategory(patient.ID(), phr.CategoryMedication) {
+						recs, err := w.Service.Store.ListByPatientCategory(patient.ID(), phr.CategoryMedication)
+						if err != nil {
+							return err
+						}
+						for _, rec := range recs {
 							if rec.Sealed.KEM.Type != wantType {
 								return fmt.Errorf("record %s sealed as %q, want %q", rec.ID, rec.Sealed.KEM.Type, wantType)
 							}
@@ -308,7 +321,11 @@ func KeyRotationDrill(seed int64) (*Drill, error) {
 						return nil
 					}},
 					{Name: "owner-still-reads", Check: func() error {
-						for _, rec := range w.Service.Store.ListByPatientCategory(patient.ID(), phr.CategoryMedication) {
+						recs, err := w.Service.Store.ListByPatientCategory(patient.ID(), phr.CategoryMedication)
+						if err != nil {
+							return err
+						}
+						for _, rec := range recs {
 							got, err := patient.ReadOwn(w.Service.Store, rec.ID)
 							if err != nil {
 								return fmt.Errorf("owner read of %s: %w", rec.ID, err)
@@ -324,7 +341,10 @@ func KeyRotationDrill(seed int64) (*Drill, error) {
 			{
 				Name: "stale-grant-denied",
 				Run: func() error {
-					recs := w.Service.Store.ListByPatientCategory(patient.ID(), phr.CategoryMedication)
+					recs, err := w.Service.Store.ListByPatientCategory(patient.ID(), phr.CategoryMedication)
+					if err != nil {
+						return err
+					}
 					_, staleSerialErr = w.Service.Request(recs[0].ID, requester.ID)
 					_, staleBulkErr = proxy.DiscloseCategoryParallel(w.Service.Store, patient.ID(), phr.CategoryMedication, requester.ID)
 					return nil

@@ -19,15 +19,24 @@ var (
 // must not cross category boundaries), and the KGC2 domain requesters are
 // registered at.
 type Service struct {
-	Store *Store
+	// Store is the pluggable storage layer holding the sealed records:
+	// the in-memory backend by default, the crash-safe disk backend in a
+	// persistent deployment (cmd/phrserver -store=disk).
+	Store Backend
 
 	mu      sync.RWMutex
 	proxies map[Category]*Proxy
 }
 
-// NewService creates a service with one dedicated proxy per category.
+// NewService creates a service with one dedicated proxy per category,
+// backed by the in-memory store.
 func NewService(categories []Category) *Service {
-	s := &Service{Store: NewStore(), proxies: map[Category]*Proxy{}}
+	return NewServiceWith(categories, NewStore())
+}
+
+// NewServiceWith creates a service over an explicit storage backend.
+func NewServiceWith(categories []Category, backend Backend) *Service {
+	s := &Service{Store: backend, proxies: map[Category]*Proxy{}}
 	for _, c := range categories {
 		s.proxies[c] = NewProxy("proxy-" + string(c))
 	}

@@ -6,156 +6,164 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"time"
-
-	"typepre/internal/hybrid"
 )
 
 // Store snapshots: a length-prefixed binary container holding every
-// record (metadata + sealed body). The snapshot contains only what the
-// semi-trusted store already sees — ciphertexts and routing metadata — so
-// persisting it needs no additional trust.
+// record (metadata + sealed body) — the backup/restore path over any
+// Backend. The snapshot contains only what the semi-trusted store already
+// sees — ciphertexts and routing metadata — so persisting it needs no
+// additional trust.
+//
+// Format (version 2):
+//
+//	magic "tpresnap" | u32 version
+//	per record: u32 len | record wire form (MarshalRecord)
+//	terminator:  u32 0  | u64 record count
+//
+// Records are framed individually and the count rides in the trailer, so
+// both writer and reader stream record-by-record: neither side ever
+// buffers more than one record.
 
-// snapshotMagic guards against feeding arbitrary files to RestoreStore.
+// snapshotMagic guards against feeding arbitrary files to Restore.
 var snapshotMagic = [8]byte{'t', 'p', 'r', 'e', 's', 'n', 'a', 'p'}
 
-// snapshotVersion is bumped on incompatible format changes.
-const snapshotVersion uint32 = 1
+// snapshotVersion is bumped on incompatible format changes. Version 1
+// (count-prefixed, field-per-chunk framing) is no longer read.
+const snapshotVersion uint32 = 2
 
-// ErrSnapshot is returned for malformed snapshot data.
-var ErrSnapshot = errors.New("phr: invalid snapshot")
+// Snapshot errors.
+var (
+	// ErrSnapshot is returned for malformed snapshot data.
+	ErrSnapshot = errors.New("phr: invalid snapshot")
+	// ErrSnapshotDuplicate marks a snapshot carrying the same record ID
+	// twice — a corrupt or hand-edited container, rejected before the
+	// second copy can shadow the first.
+	ErrSnapshotDuplicate = errors.New("phr: snapshot contains duplicate record id")
+)
 
-func writeChunk(w io.Writer, chunk []byte) error {
-	var lenBuf [4]byte
-	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(chunk)))
-	if _, err := w.Write(lenBuf[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(chunk)
-	return err
-}
-
-func readChunkFrom(r io.Reader) ([]byte, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return nil, err
-	}
-	n := binary.BigEndian.Uint32(lenBuf[:])
-	if n > 1<<30 {
-		return nil, fmt.Errorf("%w: chunk of %d bytes", ErrSnapshot, n)
-	}
-	chunk := make([]byte, n)
-	if _, err := io.ReadFull(r, chunk); err != nil {
-		return nil, err
-	}
-	return chunk, nil
-}
-
-// Snapshot writes every record to w in insertion-independent, ID-sorted
-// order (deterministic output for identical contents).
-func (s *Store) Snapshot(w io.Writer) error {
+// Snapshot writes every record of the backend to w, patient by patient in
+// sorted patient order (insertion order within a patient): deterministic
+// output for identical contents. Snapshot a quiesced backend — records
+// added or deleted concurrently may or may not be included.
+func Snapshot(b Backend, w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(snapshotMagic[:]); err != nil {
 		return err
 	}
-	var verBuf [4]byte
-	binary.BigEndian.PutUint32(verBuf[:], snapshotVersion)
-	if _, err := bw.Write(verBuf[:]); err != nil {
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], snapshotVersion)
+	if _, err := bw.Write(u32[:]); err != nil {
 		return err
 	}
-
-	// Collect all records patient by patient (Patients() is sorted, and
-	// per-patient lists preserve insertion order).
-	var records []*EncryptedRecord
-	for _, p := range s.Patients() {
-		records = append(records, s.ListByPatient(p)...)
+	var count uint64
+	var buf []byte
+	for _, p := range b.Patients() {
+		recs, err := b.ListByPatient(p)
+		if err != nil {
+			return fmt.Errorf("phr: snapshot of %s: %w", p, err)
+		}
+		for _, rec := range recs {
+			buf = MarshalRecord(buf[:0], rec)
+			binary.BigEndian.PutUint32(u32[:], uint32(len(buf)))
+			if _, err := bw.Write(u32[:]); err != nil {
+				return err
+			}
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+			count++
+		}
 	}
-	var cntBuf [4]byte
-	binary.BigEndian.PutUint32(cntBuf[:], uint32(len(records)))
-	if _, err := bw.Write(cntBuf[:]); err != nil {
+	// Terminator: a zero-length frame, then the count for validation.
+	binary.BigEndian.PutUint32(u32[:], 0)
+	if _, err := bw.Write(u32[:]); err != nil {
 		return err
 	}
-	for _, rec := range records {
-		if err := writeChunk(bw, []byte(rec.ID)); err != nil {
-			return err
-		}
-		if err := writeChunk(bw, []byte(rec.PatientID)); err != nil {
-			return err
-		}
-		if err := writeChunk(bw, []byte(rec.Category)); err != nil {
-			return err
-		}
-		var tsBuf [8]byte
-		binary.BigEndian.PutUint64(tsBuf[:], uint64(rec.CreatedAt.UnixNano()))
-		if _, err := bw.Write(tsBuf[:]); err != nil {
-			return err
-		}
-		if err := writeChunk(bw, rec.Sealed.Marshal()); err != nil {
-			return err
-		}
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], count)
+	if _, err := bw.Write(u64[:]); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
 
-// RestoreStore reads a snapshot produced by Snapshot into a fresh store.
-func RestoreStore(r io.Reader) (*Store, error) {
+// Restore streams a snapshot produced by Snapshot into an existing
+// backend, one record at a time — restoring into a disk backend never
+// materializes the whole container in memory. A record ID appearing twice
+// in the snapshot fails with ErrSnapshotDuplicate; an ID already present
+// in the backend fails with the backend's ErrDuplicate. Either way the
+// records restored before the failure remain.
+func Restore(b Backend, r io.Reader) error {
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrSnapshot, err)
+		return fmt.Errorf("%w: %v", ErrSnapshot, err)
 	}
 	if magic != snapshotMagic {
-		return nil, fmt.Errorf("%w: bad magic", ErrSnapshot)
+		return fmt.Errorf("%w: bad magic", ErrSnapshot)
 	}
-	var verBuf [4]byte
-	if _, err := io.ReadFull(br, verBuf[:]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrSnapshot, err)
+	var u32 [4]byte
+	if _, err := io.ReadFull(br, u32[:]); err != nil {
+		return fmt.Errorf("%w: %v", ErrSnapshot, err)
 	}
-	if v := binary.BigEndian.Uint32(verBuf[:]); v != snapshotVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrSnapshot, v)
+	if v := binary.BigEndian.Uint32(u32[:]); v != snapshotVersion {
+		return fmt.Errorf("%w: unsupported version %d", ErrSnapshot, v)
 	}
-	var cntBuf [4]byte
-	if _, err := io.ReadFull(br, cntBuf[:]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrSnapshot, err)
-	}
-	count := binary.BigEndian.Uint32(cntBuf[:])
 
-	store := NewStore()
-	for i := uint32(0); i < count; i++ {
-		id, err := readChunkFrom(br)
+	seen := map[string]bool{}
+	var count uint64
+	var buf []byte
+	for {
+		if _, err := io.ReadFull(br, u32[:]); err != nil {
+			return fmt.Errorf("%w: record %d frame: %v", ErrSnapshot, count, err)
+		}
+		n := binary.BigEndian.Uint32(u32[:])
+		if n == 0 {
+			break // terminator
+		}
+		if n > maxRecordFieldBytes {
+			return fmt.Errorf("%w: record %d frame of %d bytes", ErrSnapshot, count, n)
+		}
+		if cap(buf) < int(n) {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return fmt.Errorf("%w: record %d body: %v", ErrSnapshot, count, err)
+		}
+		rec, err := UnmarshalRecord(buf)
 		if err != nil {
-			return nil, fmt.Errorf("%w: record %d id: %v", ErrSnapshot, i, err)
+			return fmt.Errorf("%w: record %d: %v", ErrSnapshot, count, err)
 		}
-		patient, err := readChunkFrom(br)
-		if err != nil {
-			return nil, fmt.Errorf("%w: record %d patient: %v", ErrSnapshot, i, err)
+		if seen[rec.ID] {
+			return fmt.Errorf("%w: %s", ErrSnapshotDuplicate, rec.ID)
 		}
-		category, err := readChunkFrom(br)
-		if err != nil {
-			return nil, fmt.Errorf("%w: record %d category: %v", ErrSnapshot, i, err)
+		seen[rec.ID] = true
+		if err := b.Put(rec); err != nil {
+			if errors.Is(err, ErrDuplicate) {
+				// The backend already holds this ID — same collision class as
+				// a duplicate inside the snapshot, same typed error.
+				return fmt.Errorf("%w: %s", ErrSnapshotDuplicate, rec.ID)
+			}
+			return fmt.Errorf("phr: restore record %s: %w", rec.ID, err)
 		}
-		var tsBuf [8]byte
-		if _, err := io.ReadFull(br, tsBuf[:]); err != nil {
-			return nil, fmt.Errorf("%w: record %d timestamp: %v", ErrSnapshot, i, err)
-		}
-		sealedBytes, err := readChunkFrom(br)
-		if err != nil {
-			return nil, fmt.Errorf("%w: record %d body: %v", ErrSnapshot, i, err)
-		}
-		sealed, err := hybrid.UnmarshalCiphertext(sealedBytes)
-		if err != nil {
-			return nil, fmt.Errorf("%w: record %d ciphertext: %v", ErrSnapshot, i, err)
-		}
-		rec := &EncryptedRecord{
-			ID:        string(id),
-			PatientID: string(patient),
-			Category:  Category(category),
-			CreatedAt: time.Unix(0, int64(binary.BigEndian.Uint64(tsBuf[:]))),
-			Sealed:    sealed,
-		}
-		if err := store.Put(rec); err != nil {
-			return nil, fmt.Errorf("%w: record %d: %v", ErrSnapshot, i, err)
-		}
+		count++
 	}
-	return store, nil
+	var u64 [8]byte
+	if _, err := io.ReadFull(br, u64[:]); err != nil {
+		return fmt.Errorf("%w: trailer: %v", ErrSnapshot, err)
+	}
+	if want := binary.BigEndian.Uint64(u64[:]); want != count {
+		return fmt.Errorf("%w: trailer count %d, restored %d", ErrSnapshot, want, count)
+	}
+	return nil
+}
+
+// RestoreStore reads a snapshot into a fresh in-memory backend.
+func RestoreStore(r io.Reader) (Backend, error) {
+	b := NewStore()
+	if err := Restore(b, r); err != nil {
+		return nil, err
+	}
+	return b, nil
 }

@@ -19,7 +19,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	if err := s.svc.Store.Snapshot(&buf); err != nil {
+	if err := Snapshot(s.svc.Store, &buf); err != nil {
 		t.Fatal(err)
 	}
 	restored, err := RestoreStore(bytes.NewReader(buf.Bytes()))
@@ -51,10 +51,10 @@ func TestSnapshotDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	var b1, b2 bytes.Buffer
-	if err := s.svc.Store.Snapshot(&b1); err != nil {
+	if err := Snapshot(s.svc.Store, &b1); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.svc.Store.Snapshot(&b2); err != nil {
+	if err := Snapshot(s.svc.Store, &b2); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
@@ -64,7 +64,7 @@ func TestSnapshotDeterministic(t *testing.T) {
 
 func TestSnapshotEmptyStore(t *testing.T) {
 	var buf bytes.Buffer
-	if err := NewStore().Snapshot(&buf); err != nil {
+	if err := Snapshot(NewStore(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	restored, err := RestoreStore(bytes.NewReader(buf.Bytes()))
@@ -91,11 +91,39 @@ func TestRestoreRejectsGarbage(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := s.svc.Store.Snapshot(&buf); err != nil {
+	if err := Snapshot(s.svc.Store, &buf); err != nil {
 		t.Fatal(err)
 	}
 	trunc := buf.Bytes()[:buf.Len()-10]
 	if _, err := RestoreStore(bytes.NewReader(trunc)); err == nil {
 		t.Fatal("accepted truncated snapshot")
+	}
+}
+
+func TestRestoreRejectsDuplicateRecordID(t *testing.T) {
+	s := newScenario(t)
+	if _, err := s.alice.AddRecord(s.svc.Store, CategoryEmergency, []byte("once"), nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Snapshot(s.svc.Store, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Splice the single record frame in twice: header | frame | frame | trailer.
+	raw := buf.Bytes()
+	header, trailer := raw[:12], raw[len(raw)-12:]
+	frame := raw[12 : len(raw)-12]
+	forged := append(append(append(append([]byte{}, header...), frame...), frame...), trailer...)
+	if _, err := RestoreStore(bytes.NewReader(forged)); !errors.Is(err, ErrSnapshotDuplicate) {
+		t.Fatalf("want ErrSnapshotDuplicate, got %v", err)
+	}
+	// The duplicate must also be rejected when restoring into a backend that
+	// already holds the ID (resume-into-nonempty-store case).
+	var again bytes.Buffer
+	if err := Snapshot(s.svc.Store, &again); err != nil {
+		t.Fatal(err)
+	}
+	if err := Restore(s.svc.Store, bytes.NewReader(again.Bytes())); !errors.Is(err, ErrSnapshotDuplicate) {
+		t.Fatalf("restore into populated store: want ErrSnapshotDuplicate, got %v", err)
 	}
 }

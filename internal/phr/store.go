@@ -19,20 +19,31 @@ type patientCategory struct {
 	category Category
 }
 
-// Store is an in-memory encrypted-record store with a primary index by
-// record ID and secondary indexes by patient and by (patient, category).
-// It stands in for the semi-trusted database of §5: it sees only sealed
-// bodies and routing metadata. All methods are safe for concurrent use.
-type Store struct {
+// memBackend is the in-memory Backend: a primary index by record ID and
+// secondary indexes by patient and by (patient, category), all behind one
+// RWMutex. It stands in for the semi-trusted database of §5: it sees only
+// sealed bodies and routing metadata. All methods are safe for concurrent
+// use.
+//
+// Stored records are never mutated after insertion (Put/Replace store
+// private clones), so the read paths can copy the record pointers under
+// the RLock and clone outside it — the lock is held for O(ids), not
+// O(bytes cloned).
+type memBackend struct {
 	mu        sync.RWMutex
+	closed    bool
 	byID      map[string]*EncryptedRecord
 	byPatient map[string][]string // patient → record IDs, insertion order
 	byPatCat  map[patientCategory][]string
 }
 
-// NewStore returns an empty store.
-func NewStore() *Store {
-	return &Store{
+// NewStore returns an empty in-memory backend — the default storage layer
+// for tests, examples and single-run tools. For a store that survives
+// restarts use internal/phr/diskstore.
+func NewStore() Backend { return newMemBackend() }
+
+func newMemBackend() *memBackend {
+	return &memBackend{
 		byID:      map[string]*EncryptedRecord{},
 		byPatient: map[string][]string{},
 		byPatCat:  map[patientCategory][]string{},
@@ -40,12 +51,15 @@ func NewStore() *Store {
 }
 
 // Put inserts a record. It fails with ErrDuplicate if the ID exists.
-func (s *Store) Put(r *EncryptedRecord) error {
+func (s *memBackend) Put(r *EncryptedRecord) error {
 	if r == nil || r.ID == "" {
 		return fmt.Errorf("phr: invalid record")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("%w: store closed", ErrStorage)
+	}
 	if _, ok := s.byID[r.ID]; ok {
 		return fmt.Errorf("%w: %s", ErrDuplicate, r.ID)
 	}
@@ -61,12 +75,15 @@ func (s *Store) Put(r *EncryptedRecord) error {
 // store-side primitive of key rotation. The record must exist and keep its
 // routing metadata (patient and category): rotation changes what seals a
 // record, never where it lives in the indexes.
-func (s *Store) Replace(r *EncryptedRecord) error {
+func (s *memBackend) Replace(r *EncryptedRecord) error {
 	if r == nil || r.ID == "" {
 		return fmt.Errorf("phr: invalid record")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("%w: store closed", ErrStorage)
+	}
 	cur, ok := s.byID[r.ID]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, r.ID)
@@ -79,10 +96,10 @@ func (s *Store) Replace(r *EncryptedRecord) error {
 }
 
 // Get fetches a record by ID.
-func (s *Store) Get(id string) (*EncryptedRecord, error) {
+func (s *memBackend) Get(id string) (*EncryptedRecord, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	r, ok := s.byID[id]
+	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
@@ -90,9 +107,12 @@ func (s *Store) Get(id string) (*EncryptedRecord, error) {
 }
 
 // Delete removes a record by ID.
-func (s *Store) Delete(id string) error {
+func (s *memBackend) Delete(id string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("%w: store closed", ErrStorage)
+	}
 	r, ok := s.byID[id]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
@@ -115,9 +135,18 @@ func (s *Store) Delete(id string) error {
 	return nil
 }
 
+// Close marks the backend closed; further writes fail with ErrStorage.
+// There is nothing to flush — the memory backend is not durable.
+func (s *memBackend) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
 // indexSizes reports the number of live secondary-index keys; a test hook
 // for the churn-leak regression.
-func (s *Store) indexSizes() (patients, patientCategories int) {
+func (s *memBackend) indexSizes() (patients, patientCategories int) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.byPatient), len(s.byPatCat)
@@ -132,69 +161,81 @@ func removeString(xs []string, x string) []string {
 	return xs
 }
 
-// ListByPatient returns all records of a patient in insertion order.
-func (s *Store) ListByPatient(patientID string) []*EncryptedRecord {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ids := s.byPatient[patientID]
+// collect copies the record pointers for a list of IDs under the RLock.
+// The returned pointers are the stored records themselves — immutable by
+// the backend's invariant — so the caller clones them lock-free.
+func (s *memBackend) collect(ids []string) []*EncryptedRecord {
 	out := make([]*EncryptedRecord, 0, len(ids))
 	for _, id := range ids {
-		out = append(out, s.byID[id].Clone())
+		out = append(out, s.byID[id])
 	}
 	return out
+}
+
+// cloneAll turns the pointer snapshot into private copies outside any
+// lock: the O(records) cloning work no longer blocks writers.
+func cloneAll(recs []*EncryptedRecord) []*EncryptedRecord {
+	for i, r := range recs {
+		recs[i] = r.Clone()
+	}
+	return recs
+}
+
+// ListByPatient returns all records of a patient in insertion order.
+func (s *memBackend) ListByPatient(patientID string) ([]*EncryptedRecord, error) {
+	s.mu.RLock()
+	recs := s.collect(s.byPatient[patientID])
+	s.mu.RUnlock()
+	return cloneAll(recs), nil
 }
 
 // ListByPatientCategory returns a patient's records of one category in
 // insertion order — the secondary-index read path proxies use.
-func (s *Store) ListByPatientCategory(patientID string, c Category) []*EncryptedRecord {
+func (s *memBackend) ListByPatientCategory(patientID string, c Category) ([]*EncryptedRecord, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ids := s.byPatCat[patientCategory{patientID, c}]
-	out := make([]*EncryptedRecord, 0, len(ids))
-	for _, id := range ids {
-		out = append(out, s.byID[id].Clone())
-	}
-	return out
+	recs := s.collect(s.byPatCat[patientCategory{patientID, c}])
+	s.mu.RUnlock()
+	return cloneAll(recs), nil
 }
 
 // Count returns the total number of records.
-func (s *Store) Count() int {
+func (s *memBackend) Count() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.byID)
 }
 
 // CountByPatient returns the number of records of one patient.
-func (s *Store) CountByPatient(patientID string) int {
+func (s *memBackend) CountByPatient(patientID string) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.byPatient[patientID])
 }
 
 // Patients returns the sorted list of patient IDs with at least one record.
-func (s *Store) Patients() []string {
+func (s *memBackend) Patients() []string {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.byPatient))
 	for p, ids := range s.byPatient {
 		if len(ids) > 0 {
 			out = append(out, p)
 		}
 	}
+	s.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
 
 // Categories returns the sorted distinct categories stored for a patient.
-func (s *Store) Categories(patientID string) []Category {
+func (s *memBackend) Categories(patientID string) []Category {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	seen := map[Category]bool{}
 	for key, ids := range s.byPatCat {
 		if key.patient == patientID && len(ids) > 0 {
 			seen[key.category] = true
 		}
 	}
+	s.mu.RUnlock()
 	out := make([]Category, 0, len(seen))
 	for c := range seen {
 		out = append(out, c)

@@ -1,0 +1,163 @@
+package phr
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// benchPopulate fills a memBackend with one patient holding n sealed
+// records, reusing a single sealed container (the store treats it as
+// opaque bytes, so one real ciphertext is representative).
+func benchPopulate(b *testing.B, n int) *memBackend {
+	b.Helper()
+	w, err := GenerateWorkload(WorkloadConfig{
+		Seed: 1, Patients: 1, Requesters: 1,
+		Categories:        []Category{CategoryEmergency},
+		RecordsPerPatient: 1, BodySize: 256, GrantsPerPatient: 0,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sealed := w.Records[0].Sealed
+	s := newMemBackend()
+	for i := 0; i < n; i++ {
+		rec := &EncryptedRecord{
+			ID:        fmt.Sprintf("bench/%06d", i),
+			PatientID: "patient-000@phr.example",
+			Category:  CategoryEmergency,
+			CreatedAt: time.Unix(0, int64(i)),
+			Sealed:    sealed,
+		}
+		if err := s.Put(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+// listLegacy is the pre-refactor read path: records are deep-cloned while
+// the read lock is held, so every concurrent reader serializes behind
+// clone work and writers stall behind all of it.
+func (s *memBackend) listLegacy(patientID string) []*EncryptedRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*EncryptedRecord, 0, len(s.byPatient[patientID]))
+	for _, id := range s.byPatient[patientID] {
+		if r, ok := s.byID[id]; ok {
+			out = append(out, r.Clone())
+		}
+	}
+	return out
+}
+
+// BenchmarkListByPatient512 measures the bulk-disclosure read path at the
+// 512-record patient size used by the service benchmarks, comparing the
+// legacy clone-under-lock path against the current one (pointer snapshot
+// under RLock, clone outside). The interesting axis is parallelism: the
+// clone work no longer serializes readers against each other or writers.
+func BenchmarkListByPatient512(b *testing.B) {
+	const records = 512
+	for _, bc := range []struct {
+		name string
+		list func(s *memBackend) int
+	}{
+		{"legacy-clone-under-lock", func(s *memBackend) int {
+			return len(s.listLegacy("patient-000@phr.example"))
+		}},
+		{"clone-outside-lock", func(s *memBackend) int {
+			recs, err := s.ListByPatient("patient-000@phr.example")
+			if err != nil {
+				return -1
+			}
+			return len(recs)
+		}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			s := benchPopulate(b, records)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if got := bc.list(s); got != records {
+						b.Fatalf("listed %d records, want %d", got, records)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkPutDuringBulkReads512 measures what the lock-hold fix actually
+// buys: writer latency while readers bulk-list a 512-record patient. The
+// legacy path holds the RLock for the whole clone (~100µs), so a writer's
+// Lock waits for every in-flight clone to drain — and, because RWMutex
+// blocks new readers once a writer waits, each slow reader also convoys
+// everyone else. The current path holds the RLock only for the pointer
+// snapshot, so writers slip in between clones.
+func BenchmarkPutDuringBulkReads512(b *testing.B) {
+	const records = 512
+	for _, bc := range []struct {
+		name string
+		list func(s *memBackend) int
+	}{
+		{"legacy-clone-under-lock", func(s *memBackend) int {
+			return len(s.listLegacy("patient-000@phr.example"))
+		}},
+		{"clone-outside-lock", func(s *memBackend) int {
+			recs, _ := s.ListByPatient("patient-000@phr.example")
+			return len(recs)
+		}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			s := benchPopulate(b, records)
+			sealed := mustGet(b, s, "bench/000000").Sealed
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for r := 0; r < 4; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if got := bc.list(s); got != records {
+							return
+						}
+					}
+				}()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec := &EncryptedRecord{
+					ID:        fmt.Sprintf("writer/%d", i),
+					PatientID: "patient-writer@phr.example",
+					Category:  CategoryEmergency,
+					Sealed:    sealed,
+				}
+				if err := s.Put(rec); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Delete(rec.ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+		})
+	}
+}
+
+func mustGet(b *testing.B, s *memBackend, id string) *EncryptedRecord {
+	b.Helper()
+	rec, err := s.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rec
+}

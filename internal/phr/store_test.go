@@ -10,7 +10,7 @@ import (
 // secondary-index slices must be dropped with their map keys, so index-map
 // sizes return to zero after put/delete cycles.
 func TestStoreDeleteReleasesIndexKeys(t *testing.T) {
-	s := NewStore()
+	s := newMemBackend()
 	const cycles = 5
 	for cycle := 0; cycle < cycles; cycle++ {
 		var ids []string
@@ -51,7 +51,7 @@ func TestStoreDeleteReleasesIndexKeys(t *testing.T) {
 // TestStoreDeletePartialKeepsSiblingKeys checks that deleting one record
 // does not drop an index key other records still need.
 func TestStoreDeletePartialKeepsSiblingKeys(t *testing.T) {
-	s := NewStore()
+	s := newMemBackend()
 	a := &EncryptedRecord{ID: "r1", PatientID: "alice", Category: CategoryEmergency}
 	b := &EncryptedRecord{ID: "r2", PatientID: "alice", Category: CategoryEmergency}
 	c := &EncryptedRecord{ID: "r3", PatientID: "alice", Category: CategoryMedication}
@@ -63,7 +63,7 @@ func TestStoreDeletePartialKeepsSiblingKeys(t *testing.T) {
 	if err := s.Delete("r1"); err != nil {
 		t.Fatal(err)
 	}
-	if got := s.ListByPatientCategory("alice", CategoryEmergency); len(got) != 1 || got[0].ID != "r2" {
+	if got := mustList(t, s, "alice", CategoryEmergency); len(got) != 1 || got[0].ID != "r2" {
 		t.Fatalf("emergency index after partial delete = %v", got)
 	}
 	patients, patCats := s.indexSizes()

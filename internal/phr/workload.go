@@ -30,6 +30,10 @@ type WorkloadConfig struct {
 	// benchmarks: a corpus generated this way has predictable keys and
 	// must never hold real data.
 	InsecureDeterministic bool
+	// Backend, when non-nil, is the storage layer the generated service
+	// writes into (default: a fresh in-memory backend). Lets harnesses
+	// benchmark the same corpus against memory and disk stores.
+	Backend Backend
 }
 
 // DefaultWorkload matches the paper's three-category example at a small,
@@ -132,11 +136,15 @@ func GenerateWorkloadFrom(cfg WorkloadConfig, src rand.Source) (*Workload, error
 	if err != nil {
 		return nil, err
 	}
+	backend := cfg.Backend
+	if backend == nil {
+		backend = NewStore()
+	}
 	w := &Workload{
 		Config:     cfg,
 		KGC1:       kgc1,
 		KGC2:       kgc2,
-		Service:    NewService(cfg.Categories),
+		Service:    NewServiceWith(cfg.Categories, backend),
 		Requesters: map[string]*ibe.PrivateKey{},
 		Bodies:     map[string][]byte{},
 	}
