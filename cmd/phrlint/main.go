@@ -1,0 +1,78 @@
+// Command phrlint is the repo's domain-specific static-analysis suite: a
+// multichecker over the five passes in internal/analysis/passes that
+// machine-check the crypto and service invariants the compiler cannot see
+// (docs/lint.md). It loads, parses and type-checks the named packages
+// plus their intra-module dependencies from source — no network, no
+// third-party modules — runs every pass, and exits non-zero on any
+// diagnostic.
+//
+// Usage:
+//
+//	phrlint [-list] [packages]
+//
+// Packages default to ./... . Diagnostics print as file:line:col: message
+// (pass), one per line, ready for editors and CI annotations. Findings
+// are suppressed only by a `//phrlint:ignore pass: reason` directive on
+// the flagged line or the line above; a directive without a pass list and
+// reason is itself a diagnostic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"typepre/internal/analysis"
+	"typepre/internal/analysis/passes"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the registered passes and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: phrlint [-list] [packages]\n\nPasses:\n")
+		for _, a := range passes.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-15s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := passes.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	targets, all, err := analysis.LoadPackages(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phrlint:", err)
+		os.Exit(2)
+	}
+
+	ann, malformed := analysis.HarvestAnnotations(all)
+	var diags []analysis.Diagnostic
+	diags = append(diags, malformed...)
+	for _, pkg := range targets {
+		d, err := analysis.RunPackage(pkg, ann, suite)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "phrlint:", err)
+			os.Exit(2)
+		}
+		diags = append(diags, d...)
+	}
+
+	for _, d := range diags {
+		fmt.Printf("%s\n", d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "phrlint: %d finding(s) across %d package(s)\n", len(diags), len(targets))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,203 @@
+// Package analysistest drives phrlint analyzers over testdata packages
+// with inline `// want "regexp"` expectations, mirroring the x/tools
+// package of the same name on the standard library alone.
+//
+// Layout: testdata/src/<importpath>/*.go forms one package per directory.
+// Testdata packages may import each other by those paths (the loader
+// resolves them GOPATH-style under testdata/src) and anything from the
+// standard library. Every loaded package — including dependencies — feeds
+// directive harvesting, so a testdata package can annotate types and
+// fields exactly like production code.
+//
+// Expectations: a comment `// want "re1" "re2"` on a line asserts that
+// each regexp matches the message of a distinct diagnostic reported on
+// that line; any diagnostic not matched by an expectation, and any
+// expectation not matched by a diagnostic, fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"typepre/internal/analysis"
+)
+
+// Run loads each named testdata package, applies the analyzer (with
+// ignore-directive filtering, so directive behavior is testable), and
+// checks diagnostics against // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &loader{
+		root: filepath.Join(testdata, "src"),
+		fset: fset,
+		std:  importer.ForCompiler(fset, "gc", nil),
+		pkgs: map[string]*analysis.Package{},
+	}
+	var targets []*analysis.Package
+	for _, path := range pkgPaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading testdata package %s: %v", path, err)
+		}
+		targets = append(targets, pkg)
+	}
+
+	var all []*analysis.Package
+	for _, p := range ld.pkgs {
+		all = append(all, p)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].PkgPath < all[j].PkgPath })
+	ann, malformed := analysis.HarvestAnnotations(all)
+
+	for _, pkg := range targets {
+		diags, err := analysis.RunPackage(pkg, ann, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkg.PkgPath, err)
+		}
+		for _, d := range malformed {
+			if pkgOwnsFile(pkg, d.Pos.Filename) {
+				diags = append(diags, d)
+			}
+		}
+		check(t, pkg, diags)
+	}
+}
+
+func pkgOwnsFile(pkg *analysis.Package, filename string) bool {
+	return filepath.Dir(filename) == pkg.Dir
+}
+
+// loader resolves testdata import paths GOPATH-style with memoization,
+// falling back to the toolchain's export data for the standard library.
+type loader struct {
+	root    string
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*analysis.Package
+	loading map[string]bool
+}
+
+func (l *loader) load(path string) (*analysis.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	if l.loading == nil {
+		l.loading = map[string]bool{}
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	pkg, err := analysis.TypeCheck(l.fset, path, dir, files, importerFunc(func(imp string) (*types.Package, error) {
+		if _, err := os.Stat(filepath.Join(l.root, filepath.FromSlash(imp))); err == nil {
+			p, err := l.load(imp)
+			if err != nil {
+				return nil, err
+			}
+			return p.Types, nil
+		}
+		return l.std.Import(imp)
+	}))
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// expectation is one parsed want clause.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// want clauses take Go string syntax, double- or back-quoted; each quoted
+// string is a regexp matched against one diagnostic message.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quotedRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+func parseWants(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, file := range pkg.Syntax {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range quotedRe.FindAllString(m[1], -1) {
+					raw, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+					}
+					wants = append(wants, &expectation{
+						file: pos.Filename, line: pos.Line, re: re, raw: raw,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, pkg)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// Annotations is the framework-wide index of phrlint source directives,
+// harvested from every package loaded in a run so that passes can honor
+// annotations on objects defined in dependency packages:
+//
+//	// phrlint:secret
+//	type KGC struct { ... }          // secretprint: never format/log this
+//
+//	type memBackend struct {
+//	    mu   sync.RWMutex
+//	    byID map[string]*Record // phrlint:guardedby mu
+//	}
+//
+//	// phrlint:locked mu — caller must hold mu.
+//	func (s *memBackend) collect(ids []string) []*Record { ... }
+type Annotations struct {
+	// Secret marks type names whose values are key material: formatting or
+	// logging them (directly or embedded in a struct) is a secretprint
+	// diagnostic.
+	Secret map[*types.TypeName]bool
+	// GuardedBy maps a struct field to the name of the sibling mutex field
+	// that must be held to touch it.
+	GuardedBy map[*types.Var]string
+	// Locked maps a function to the mutex name its callers must hold;
+	// accesses to fields guarded by that mutex are sanctioned inside it.
+	Locked map[*types.Func]string
+}
+
+var directiveRe = regexp.MustCompile(`^//\s*phrlint:(secret|guardedby|locked)\b[ \t]*([A-Za-z0-9_]*)`)
+
+// directiveIn scans the comment groups for a phrlint:secret/guardedby/
+// locked directive and returns its kind and argument.
+func directiveIn(groups ...*ast.CommentGroup) (kind, arg string, ok bool) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if m := directiveRe.FindStringSubmatch(c.Text); m != nil {
+				return m[1], m[2], true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// HarvestAnnotations builds the directive index over every loaded package.
+// Malformed directives (guardedby/locked without a mutex name, guardedby
+// naming a mutex the struct does not have) are returned as diagnostics —
+// an annotation that silently binds to nothing would un-enforce the very
+// invariant it documents.
+func HarvestAnnotations(pkgs []*Package) (*Annotations, []Diagnostic) {
+	ann := &Annotations{
+		Secret:    map[*types.TypeName]bool{},
+		GuardedBy: map[*types.Var]string{},
+		Locked:    map[*types.Func]string{},
+	}
+	var bad []Diagnostic
+	report := func(pkg *Package, node ast.Node, format string, args ...any) {
+		bad = append(bad, Diagnostic{
+			Analyzer: "phrlint",
+			Pos:      pkg.Fset.Position(node.Pos()),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Syntax {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					kind, arg, ok := directiveIn(d.Doc)
+					if !ok {
+						continue
+					}
+					if kind != "locked" {
+						report(pkg, d, "phrlint:%s directive is not valid on a function; want phrlint:locked", kind)
+						continue
+					}
+					if arg == "" {
+						report(pkg, d, "phrlint:locked directive must name the mutex the caller holds")
+						continue
+					}
+					if fn, ok := pkg.TypesInfo.Defs[d.Name].(*types.Func); ok {
+						ann.Locked[fn] = arg
+					}
+				case *ast.GenDecl:
+					harvestGenDecl(pkg, d, ann, report)
+				}
+			}
+		}
+	}
+	return ann, bad
+}
+
+func harvestGenDecl(pkg *Package, d *ast.GenDecl, ann *Annotations, report func(*Package, ast.Node, string, ...any)) {
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		// A secret directive may sit on the type's doc comment — which is
+		// the GenDecl doc for the common single-spec form.
+		if kind, _, ok := directiveIn(ts.Doc, ts.Comment, d.Doc); ok {
+			if kind != "secret" {
+				report(pkg, ts, "phrlint:%s directive is not valid on a type declaration; want phrlint:secret", kind)
+			} else if tn, ok := pkg.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+				ann.Secret[tn] = true
+			}
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			kind, arg, ok := directiveIn(field.Doc, field.Comment)
+			if !ok {
+				continue
+			}
+			if kind != "guardedby" {
+				report(pkg, field, "phrlint:%s directive is not valid on a struct field; want phrlint:guardedby", kind)
+				continue
+			}
+			if arg == "" {
+				report(pkg, field, "phrlint:guardedby directive must name the guarding mutex field")
+				continue
+			}
+			if !structHasMutexField(st, arg) {
+				report(pkg, field, "phrlint:guardedby names %q, which is not a sibling field of the struct", arg)
+				continue
+			}
+			for _, name := range field.Names {
+				if v, ok := pkg.TypesInfo.Defs[name].(*types.Var); ok {
+					ann.GuardedBy[v] = arg
+				}
+			}
+		}
+	}
+}
+
+// structHasMutexField reports whether the struct declares a field with the
+// given name (the mutex the guardedby directive points at).
+func structHasMutexField(st *ast.StructType, name string) bool {
+	for _, f := range st.Fields.List {
+		for _, n := range f.Names {
+			if n.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}

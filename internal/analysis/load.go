@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+)
+
+// A Package is one loaded, type-checked package: the unit a Pass runs
+// over.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// goList runs the go command and decodes its JSON package stream.
+func goList(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json=ImportPath,Dir,GoFiles,Standard,Error"}, args...)...)
+	cmd.Dir = dir
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %w\n%s", args, err, errBuf.Bytes())
+	}
+	dec := json.NewDecoder(&out)
+	var pkgs []*listedPackage
+	for dec.More() {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %w", args, err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// moduleImporter resolves imports while type-checking module packages from
+// source: standard-library packages come from the toolchain's export data
+// (offline — the gc importer asks the go command for the build cache
+// location), and intra-module packages come from the already-type-checked
+// map, which dependency-order loading guarantees is populated.
+type moduleImporter struct {
+	std    types.Importer
+	byPath map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.byPath[path]; ok {
+		return p, nil
+	}
+	return m.std.Import(path)
+}
+
+// LoadPackages loads, parses and type-checks the packages matching
+// patterns (plus, internally, their intra-module dependencies) rooted at
+// dir. Only non-test Go files are loaded: the invariants phrlint checks
+// are production invariants, and tests legitimately do things like seed
+// deterministic randomness. The returned slice contains only the packages
+// matching patterns, in dependency order; every loaded package (including
+// dependencies) is visible to directive harvesting via HarvestAnnotations.
+func LoadPackages(dir string, patterns []string) (targets []*Package, all []*Package, err error) {
+	targetList, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+	isTarget := map[string]bool{}
+	for _, p := range targetList {
+		isTarget[p.ImportPath] = true
+	}
+
+	// -deps lists dependencies before dependents, so a single forward
+	// sweep type-checks every import before its importer needs it.
+	graph, err := goList(dir, append([]string{"-deps"}, patterns...)...)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := &moduleImporter{
+		std:    importer.ForCompiler(fset, "gc", nil),
+		byPath: map[string]*types.Package{},
+	}
+	for _, lp := range graph {
+		if lp.Standard {
+			continue
+		}
+		pkg, err := TypeCheck(fset, lp.ImportPath, lp.Dir, lp.GoFiles, imp)
+		if err != nil {
+			return nil, nil, err
+		}
+		imp.byPath[lp.ImportPath] = pkg.Types
+		all = append(all, pkg)
+		if isTarget[lp.ImportPath] {
+			targets = append(targets, pkg)
+		}
+	}
+	return targets, all, nil
+}
+
+// TypeCheck parses the named files in dir and type-checks them as one
+// package, resolving imports through imp. It is the shared core of the
+// go-list loader above and the analysistest testdata loader.
+func TypeCheck(fset *token.FileSet, pkgPath, dir string, files []string, imp types.Importer) (*Package, error) {
+	var syntax []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", pkgPath, err)
+	}
+	return &Package{
+		PkgPath:   pkgPath,
+		Dir:       dir,
+		Fset:      fset,
+		Syntax:    syntax,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}

@@ -1,0 +1,154 @@
+// Package errwrap flags fmt.Errorf calls that format an error value with
+// a verb other than %w. The service's HTTP status mapping (ErrStorage →
+// 500, ErrStaleGrant → 403, ErrNoGrant → 403, ErrNotFound → 404) and the
+// disk backend's recovery logic all dispatch on errors.Is; an error
+// stringified into the message with %v or %s drops out of the Unwrap
+// chain and silently breaks that dispatch for every caller downstream.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"typepre/internal/analysis"
+)
+
+// Analyzer flags fmt.Errorf verbs that stringify an error instead of
+// wrapping it.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc:  "flag fmt.Errorf calls embedding an error with %v/%s instead of %w; stringified errors drop out of the errors.Is chain",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	errType := types.Universe.Lookup("error").Type()
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || call.Ellipsis.IsValid() || len(call.Args) < 2 {
+				return true
+			}
+			if !isErrorf(pass, call.Fun) {
+				return true
+			}
+			format, ok := stringConstant(pass, call.Args[0])
+			if !ok {
+				return true
+			}
+			for _, v := range parseVerbs(format) {
+				if v.verb == 'w' || v.verb == 'T' {
+					continue
+				}
+				argIdx := v.arg + 1 // args[0] is the format string
+				if argIdx >= len(call.Args) {
+					continue // malformed call; vet's printf check owns that
+				}
+				arg := call.Args[argIdx]
+				t := pass.TypesInfo.TypeOf(arg)
+				if t == nil || !types.AssignableTo(t, errType) {
+					continue
+				}
+				pass.Reportf(arg.Pos(),
+					"error value formatted with %%%s in fmt.Errorf; use %%w so errors.Is/errors.As still see it", string(v.verb))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isErrorf(pass *analysis.Pass, fun ast.Expr) bool {
+	sel, ok := ast.Unparen(fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.FullName() == "fmt.Errorf"
+}
+
+// stringConstant extracts a constant string value (a literal or a
+// reference to a string constant).
+func stringConstant(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// verbUse maps one format verb to the zero-based index of the operand it
+// consumes.
+type verbUse struct {
+	verb rune
+	arg  int
+}
+
+// parseVerbs walks a Printf-style format string and pairs each verb with
+// its operand index, handling flags, *-widths/precisions (which consume an
+// operand), and explicit [n] argument indexes.
+func parseVerbs(format string) []verbUse {
+	var out []verbUse
+	arg := 0
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(runes) {
+			break
+		}
+		if runes[i] == '%' {
+			continue
+		}
+		// Flags.
+		for i < len(runes) && strings.ContainsRune("+-# 0", runes[i]) {
+			i++
+		}
+		// Explicit argument index: %[n]v.
+		if i < len(runes) && runes[i] == '[' {
+			j := i + 1
+			for j < len(runes) && runes[j] != ']' {
+				j++
+			}
+			if j >= len(runes) {
+				break
+			}
+			if n, err := strconv.Atoi(string(runes[i+1 : j])); err == nil && n >= 1 {
+				arg = n - 1
+			}
+			i = j + 1
+		}
+		// Width.
+		if i < len(runes) && runes[i] == '*' {
+			arg++
+			i++
+		} else {
+			for i < len(runes) && runes[i] >= '0' && runes[i] <= '9' {
+				i++
+			}
+		}
+		// Precision.
+		if i+1 < len(runes) && runes[i] == '.' {
+			i++
+			if runes[i] == '*' {
+				arg++
+				i++
+			} else {
+				for i < len(runes) && runes[i] >= '0' && runes[i] <= '9' {
+					i++
+				}
+			}
+		}
+		if i >= len(runes) {
+			break
+		}
+		out = append(out, verbUse{verb: runes[i], arg: arg})
+		arg++
+	}
+	return out
+}

@@ -1,0 +1,16 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"typepre/internal/analysis/analysistest"
+	"typepre/internal/analysis/passes/errwrap"
+)
+
+func TestErrWrap(t *testing.T) {
+	analysistest.Run(t, "testdata", errwrap.Analyzer, "a")
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	analysistest.Run(t, "testdata", errwrap.Analyzer, "directives")
+}

@@ -1,0 +1,43 @@
+// Package a exercises errwrap: an error operand of fmt.Errorf must be
+// matched by %w, not stringified by %v/%s.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrStorage = errors.New("a: storage failure")
+
+type myErr struct{}
+
+func (*myErr) Error() string { return "my" }
+
+func flagged(err error) {
+	_ = fmt.Errorf("failed: %v", err)                   // want `error value formatted with %v in fmt.Errorf; use %w`
+	_ = fmt.Errorf("failed: %s", err)                   // want `error value formatted with %s in fmt.Errorf; use %w`
+	_ = fmt.Errorf("%w: %v", ErrStorage, err)           // want `error value formatted with %v`
+	_ = fmt.Errorf("%[2]v %[1]d", 1, err)               // want `error value formatted with %v`
+	_ = fmt.Errorf("%*d then %v", 8, 42, err)           // want `error value formatted with %v`
+	_ = fmt.Errorf("%+v", err)                          // want `error value formatted with %v`
+	_ = fmt.Errorf("concrete: %v", &myErr{})            // want `error value formatted with %v`
+	_ = fmt.Errorf("%.3s and 100%% done: %v", "x", err) // want `error value formatted with %v`
+}
+
+func clean(err error) {
+	_ = fmt.Errorf("failed: %w", err)
+	_ = fmt.Errorf("%w: %w", ErrStorage, err)
+	_ = fmt.Errorf("type only: %T", err)
+	_ = fmt.Errorf("text: %s, number: %d", "x", 42)
+	// Pre-stringified errors are the caller's explicit choice; errwrap
+	// only judges the verb/operand pairing.
+	_ = fmt.Errorf("stringified: %s", err.Error())
+	// Non-constant format strings cannot be mapped to operands.
+	f := "runtime: %v"
+	_ = fmt.Errorf(f, err)
+	// Spreads cannot be mapped either.
+	args := []any{err}
+	_ = fmt.Errorf("spread: %v", args...)
+	// fmt.Sprintf is not Errorf; secretprint and callers own other sinks.
+	_ = fmt.Sprintf("sprint: %v", err)
+}

@@ -1,0 +1,35 @@
+// Package directives exercises the phrlint:ignore machinery: a
+// well-formed directive (pass list + reason) suppresses its finding from
+// the same line or the line below; a directive without a reason, naming an
+// unknown pass, or suppressing nothing is itself a diagnostic.
+package directives
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("directives: base")
+
+func suppressed(err error) {
+	//phrlint:ignore errwrap: err is nil on this path and quoted as text only
+	_ = fmt.Errorf("report: %v", err)
+
+	_ = fmt.Errorf("inline: %v", err) //phrlint:ignore errwrap: same-line suppression form
+}
+
+func stillFlagged(err error) {
+	/*phrlint:ignore errwrap*/           // want `malformed phrlint:ignore directive`
+	_ = fmt.Errorf("no reason: %v", err) // want `error value formatted with %v`
+
+	/*phrlint:ignore errwrap:*/             // want `phrlint:ignore directive must carry a reason after the colon`
+	_ = fmt.Errorf("empty reason: %v", err) // want `error value formatted with %v`
+
+	/*phrlint:ignore nosuchpass: reason text*/ // want `phrlint:ignore names unknown pass "nosuchpass"`
+	_ = fmt.Errorf("unknown pass: %v", err)    // want `error value formatted with %v`
+}
+
+//phrlint:ignore errwrap: nothing on this or the next line triggers errwrap // want `phrlint:ignore suppresses no errwrap diagnostic; delete the stale directive`
+func stale(err error) error {
+	return fmt.Errorf("wrapped properly: %w", err)
+}

@@ -1,0 +1,16 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"typepre/internal/analysis/analysistest"
+	"typepre/internal/analysis/passes/lockdiscipline"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", lockdiscipline.Analyzer, "a")
+}
+
+func TestMalformedGuardedBy(t *testing.T) {
+	analysistest.Run(t, "testdata", lockdiscipline.Analyzer, "badann")
+}

@@ -1,0 +1,62 @@
+// Package a (testdata) exercises phrlint:guardedby enforcement: reads need
+// some acquisition of the named mutex earlier in the function, writes need
+// Lock (not RLock), and phrlint:locked functions are exempt.
+package a
+
+import "sync"
+
+type store struct {
+	mu    sync.RWMutex
+	items map[string]int // phrlint:guardedby mu
+	n     int            // phrlint:guardedby mu
+}
+
+// lockedWrite is the canonical shape: Lock before the write.
+func (s *store) lockedWrite(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items[k] = v
+	s.n++
+}
+
+// sharedRead is the canonical read shape: RLock suffices.
+func (s *store) sharedRead(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.items[k]
+}
+
+// bareRead touches a guarded field with no lock at all.
+func (s *store) bareRead(k string) int {
+	return s.items[k] // want `read of s\.items \(phrlint:guardedby mu\) without s\.mu held`
+}
+
+// bareWrite writes with no lock at all.
+func (s *store) bareWrite(k string) {
+	delete(s.items, k) // want `write to s\.items \(phrlint:guardedby mu\) without s\.mu held`
+}
+
+// writeUnderRLock holds only the shared lock across a mutation.
+func (s *store) writeUnderRLock() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.n++ // want `write to s\.n \(phrlint:guardedby mu\) under RLock; writes require s\.mu\.Lock\(\)`
+}
+
+// phrlint:locked mu — callers hold the write lock.
+func (s *store) countLocked() int {
+	return s.n + len(s.items)
+}
+
+// viaLockedHelper acquires the lock and delegates to the annotated helper.
+func (s *store) viaLockedHelper() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.countLocked()
+}
+
+// ignoredRead demonstrates the escape hatch.
+func (s *store) ignoredRead() int {
+	//phrlint:ignore lockdiscipline: snapshot read during single-threaded startup
+	return s.n
+}

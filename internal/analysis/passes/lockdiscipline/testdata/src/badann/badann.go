@@ -1,0 +1,18 @@
+// Package badann (testdata) holds malformed annotations: the harvester
+// itself must reject a guardedby that binds to nothing.
+package badann
+
+import "sync"
+
+type broken struct {
+	mu sync.Mutex
+	// phrlint:guardedby lock
+	data map[string]int // want `phrlint:guardedby names "lock", which is not a sibling field of the struct`
+	// phrlint:guardedby
+	n int // want `phrlint:guardedby directive must name the guarding mutex field`
+}
+
+// phrlint:locked
+func (b *broken) helper() int { // want `phrlint:locked directive must name the mutex the caller holds`
+	return b.n
+}

@@ -1,0 +1,18 @@
+package secretprint_test
+
+import (
+	"testing"
+
+	"typepre/internal/analysis/analysistest"
+	"typepre/internal/analysis/passes/secretprint"
+)
+
+func TestSecretPrint(t *testing.T) {
+	analysistest.Run(t, "testdata", secretprint.Analyzer, "a")
+}
+
+// TestCrossPackage checks that phrlint:secret annotations harvested from a
+// dependency package are honored in its importers.
+func TestCrossPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", secretprint.Analyzer, "b")
+}

@@ -1,0 +1,41 @@
+// Package a (testdata) defines annotated key-material types and exercises
+// the in-package sinks.
+package a
+
+import "fmt"
+
+// PrivateKey is extracted key material.
+// phrlint:secret
+type PrivateKey struct {
+	D []byte
+}
+
+// Keyring contains secrets only transitively, through a map of pointers.
+type Keyring struct {
+	Label string
+	Keys  map[string]*PrivateKey
+}
+
+// demKey mirrors the derived-GCM-key shape: a secret named byte slice.
+// phrlint:secret
+type demKey []byte
+
+func describe(k *PrivateKey) string {
+	return fmt.Sprintf("key %v", k) // want `key material of type \*a\.PrivateKey passed to fmt\.Sprintf; secrets must never be formatted or logged`
+}
+
+func hexDump(d demKey) string {
+	return fmt.Sprintf("%x", d) // want `key material of type a\.demKey passed to fmt\.Sprintf`
+}
+
+// size formats only non-secret projections of the key: clean.
+func size(k *PrivateKey) string {
+	return fmt.Sprintf("key of %d bytes", len(k.D))
+}
+
+// debugDump shows the escape hatch: the print is real, the ignore
+// suppresses it with a reason.
+func debugDump(k *PrivateKey) string {
+	//phrlint:ignore secretprint: operator-invoked debug dump, never reached in production paths
+	return fmt.Sprintf("%v", k)
+}

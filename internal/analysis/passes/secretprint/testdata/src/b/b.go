@@ -1,0 +1,23 @@
+// Package b (testdata) imports a and must see its phrlint:secret
+// annotations: containment through structs, slices and maps makes the
+// wrapper secret too.
+package b
+
+import (
+	"fmt"
+	"log"
+
+	"a"
+)
+
+func leakRing(kr a.Keyring) {
+	log.Printf("ring: %+v", kr) // want `key material of type a\.Keyring passed to log\.Printf; secrets must never be formatted or logged`
+}
+
+func leakSlice(ks []*a.PrivateKey) error {
+	return fmt.Errorf("bad keys: %v", ks) // want `key material of type \[\]\*a\.PrivateKey passed to fmt\.Errorf`
+}
+
+func clean(kr a.Keyring) {
+	log.Printf("ring %q holds %d keys", kr.Label, len(kr.Keys))
+}

@@ -1,0 +1,21 @@
+package secretrand_test
+
+import (
+	"testing"
+
+	"typepre/internal/analysis/analysistest"
+	"typepre/internal/analysis/passes/secretrand"
+)
+
+func TestCryptoPackagesBanMathRand(t *testing.T) {
+	analysistest.Run(t, "testdata", secretrand.Analyzer, "typepre/internal/bn254")
+}
+
+func TestPhrPlumbingException(t *testing.T) {
+	analysistest.Run(t, "testdata", secretrand.Analyzer,
+		"typepre/internal/phr", "typepre/internal/phr/scenario")
+}
+
+func TestOutOfScopePackagesAreClean(t *testing.T) {
+	analysistest.Run(t, "testdata", secretrand.Analyzer, "typepre/cmd/tool")
+}

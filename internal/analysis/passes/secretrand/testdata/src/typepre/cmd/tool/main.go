@@ -1,0 +1,9 @@
+// Package main (testdata) sits outside the policed trees: load generators
+// may use math/rand for operation mixes.
+package main
+
+import "math/rand"
+
+func main() {
+	_ = rand.Intn(3)
+}

@@ -1,0 +1,21 @@
+// Package bn254 (testdata) models a cryptographic package: math/rand is
+// banned outright, whatever it is used for.
+package bn254
+
+import (
+	crand "crypto/rand"
+	"math/bits"
+	"math/rand" // want `math/rand imported in cryptographic package typepre/internal/bn254: secret scalars must come from crypto/rand`
+)
+
+func Scalar() int64 {
+	return rand.Int63()
+}
+
+func Clean() (byte, error) {
+	var b [1]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return 0, err
+	}
+	return byte(bits.Reverse8(b[0])), nil
+}

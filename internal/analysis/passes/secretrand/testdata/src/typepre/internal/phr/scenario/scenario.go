@@ -1,0 +1,24 @@
+// Package scenario (testdata) models a phr subpackage: constructing a
+// seeded source as an argument to GenerateWorkloadFrom is sanctioned; any
+// other math/rand use is not.
+package scenario
+
+import (
+	"math/rand"
+
+	"typepre/internal/phr"
+)
+
+func deterministicCorpus(seed int64) (*phr.Workload, error) {
+	cfg := phr.WorkloadConfig{Seed: seed, InsecureDeterministic: true}
+	return phr.GenerateWorkloadFrom(cfg, rand.NewSource(seed))
+}
+
+func jitter() int {
+	return rand.Intn(10) // want `math/rand use outside the InsecureDeterministic workload plumbing`
+}
+
+func ignoredJitter() int {
+	//phrlint:ignore secretrand: drill-order jitter only; no key material involved
+	return rand.Intn(10)
+}

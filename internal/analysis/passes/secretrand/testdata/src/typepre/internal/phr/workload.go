@@ -1,0 +1,40 @@
+// Package phr (testdata) models the workload plumbing: math/rand is legal
+// only inside GenerateWorkload/GenerateWorkloadFrom — the
+// InsecureDeterministic corpus generator — and in arguments handed to
+// GenerateWorkloadFrom calls.
+package phr
+
+import (
+	"math/rand"
+)
+
+// WorkloadConfig mirrors the production InsecureDeterministic switch.
+type WorkloadConfig struct {
+	Seed                  int64
+	InsecureDeterministic bool
+}
+
+// Workload is a generated corpus.
+type Workload struct {
+	IDs []int
+}
+
+// GenerateWorkload seeds the deterministic generator; the plumbing
+// entry point is sanctioned wholesale.
+func GenerateWorkload(cfg WorkloadConfig) (*Workload, error) {
+	return GenerateWorkloadFrom(cfg, rand.NewSource(cfg.Seed))
+}
+
+// GenerateWorkloadFrom is the plumbing itself.
+func GenerateWorkloadFrom(cfg WorkloadConfig, src rand.Source) (*Workload, error) {
+	rng := rand.New(src)
+	return &Workload{IDs: []int{rng.Intn(100)}}, nil
+}
+
+// Shuffle is NOT plumbing: a direct use of math/rand outside the
+// sanctioned functions.
+func Shuffle(w *Workload) {
+	rand.Shuffle(len(w.IDs), func(i, j int) { // want `math/rand use outside the InsecureDeterministic workload plumbing`
+		w.IDs[i], w.IDs[j] = w.IDs[j], w.IDs[i]
+	})
+}

@@ -1,0 +1,134 @@
+// Package sentinelcmp flags direct ==/!= comparisons of errors against
+// sentinel values. The repo's revocation and crash-recovery semantics ride
+// on sentinel errors (phr.ErrStaleGrant, phr.ErrStorage, diskstore's
+// ErrCorrupt, io.EOF at stream boundaries) that are routinely wrapped with
+// %w as they cross layers; a direct comparison silently stops matching the
+// moment anyone adds context, so the only future-proof test is errors.Is.
+package sentinelcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"typepre/internal/analysis"
+)
+
+// Analyzer flags err == Sentinel / err != Sentinel comparisons.
+var Analyzer = &analysis.Analyzer{
+	Name: "sentinelcmp",
+	Doc:  "flag ==/!= comparisons against sentinel errors; wrapped errors make them silently false — use errors.Is",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					checkCmp(pass, n)
+				}
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCmp(pass *analysis.Pass, cmp *ast.BinaryExpr) {
+	if !isErrorExpr(pass, cmp.X) || !isErrorExpr(pass, cmp.Y) {
+		return
+	}
+	// err == nil / err != nil is the idiomatic success check, not a
+	// sentinel comparison.
+	if isNil(pass, cmp.X) || isNil(pass, cmp.Y) {
+		return
+	}
+	name, ok := sentinelName(pass, cmp.X)
+	if !ok {
+		name, ok = sentinelName(pass, cmp.Y)
+	}
+	if !ok {
+		return
+	}
+	op := "=="
+	if cmp.Op == token.NEQ {
+		op = "!="
+	}
+	pass.Reportf(cmp.OpPos,
+		"comparing error with %s %s: a wrapped %s never matches; use errors.Is", op, name, name)
+}
+
+// checkSwitch treats `switch err { case io.EOF: }` as the comparison it
+// desugars to.
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !isErrorExpr(pass, sw.Tag) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range cc.List {
+			if isNil(pass, expr) {
+				continue
+			}
+			if name, ok := sentinelName(pass, expr); ok {
+				pass.Reportf(expr.Pos(),
+					"switching on error against %s: a wrapped %s never matches; use errors.Is", name, name)
+			}
+		}
+	}
+}
+
+// isErrorExpr reports whether the expression's static type is assignable
+// to error (the interface itself, or any concrete type implementing it),
+// or is the untyped nil being compared against one.
+func isErrorExpr(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return true
+	}
+	return types.AssignableTo(t, types.Universe.Lookup("error").Type())
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// sentinelName identifies a package-level error variable (io.EOF,
+// phr.ErrStaleGrant, a local package's ErrFoo) and returns its display
+// name.
+func sentinelName(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	e = ast.Unparen(e)
+	var id *ast.Ident
+	display := ""
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+		display = x.Name
+	case *ast.SelectorExpr:
+		id = x.Sel
+		if pkg, ok := x.X.(*ast.Ident); ok {
+			display = pkg.Name + "." + x.Sel.Name
+		} else {
+			display = x.Sel.Name
+		}
+	default:
+		return "", false
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	return display, true
+}

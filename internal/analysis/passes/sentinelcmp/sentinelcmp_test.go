@@ -1,0 +1,12 @@
+package sentinelcmp_test
+
+import (
+	"testing"
+
+	"typepre/internal/analysis/analysistest"
+	"typepre/internal/analysis/passes/sentinelcmp"
+)
+
+func TestSentinelCmp(t *testing.T) {
+	analysistest.Run(t, "testdata", sentinelcmp.Analyzer, "a")
+}

@@ -1,0 +1,60 @@
+// Package a exercises sentinelcmp: direct comparisons against sentinel
+// errors are flagged; nil checks, errors.Is and local-to-local comparisons
+// are not.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrStale = errors.New("a: stale grant")
+
+func flagged(err error) {
+	if err == io.EOF { // want `comparing error with == io.EOF: a wrapped io.EOF never matches; use errors.Is`
+		return
+	}
+	if err != ErrStale { // want `comparing error with != ErrStale`
+		return
+	}
+	if ErrStale == err { // want `comparing error with == ErrStale`
+		return
+	}
+	switch err {
+	case io.ErrUnexpectedEOF: // want `switching on error against io.ErrUnexpectedEOF`
+		return
+	case nil:
+		return
+	}
+}
+
+func clean(err error) error {
+	if err == nil {
+		return nil
+	}
+	if err != nil {
+		_ = err
+	}
+	if errors.Is(err, io.EOF) {
+		return nil
+	}
+	other := fmt.Errorf("wrap: %w", err)
+	// Comparing two non-sentinel locals is identity comparison between
+	// dynamic values, not a sentinel test; out of scope.
+	if err == other {
+		return other
+	}
+	// Non-error comparisons never trigger.
+	if len(other.Error()) == 3 {
+		return nil
+	}
+	return err
+}
+
+func ignored(err error) {
+	//phrlint:ignore sentinelcmp: exercising the suppression path in tests
+	if err == io.EOF {
+		return
+	}
+}

@@ -29,12 +29,12 @@ func UnmarshalCompactCiphertext(data []byte) (*Ciphertext, error) {
 	}
 	var c1 bn254.G2
 	if err := c1.UnmarshalCompressed(data[:bn254.G2CompressedSize]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrEncoding, err)
+		return nil, fmt.Errorf("%w: %w", ErrEncoding, err)
 	}
 	data = data[bn254.G2CompressedSize:]
 	var c2 bn254.GT
 	if err := c2.Unmarshal(data[:bn254.GTSize]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrEncoding, err)
+		return nil, fmt.Errorf("%w: %w", ErrEncoding, err)
 	}
 	data = data[bn254.GTSize:]
 	t, rest, err := readString(data)
@@ -60,11 +60,11 @@ func ibeCiphertextFromCompact(data []byte) (*ibe.Ciphertext, error) {
 	}
 	var c1 bn254.G2
 	if err := c1.UnmarshalCompressed(data[:bn254.G2CompressedSize]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrEncoding, err)
+		return nil, fmt.Errorf("%w: %w", ErrEncoding, err)
 	}
 	var c2 bn254.GT
 	if err := c2.Unmarshal(data[bn254.G2CompressedSize:]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrEncoding, err)
+		return nil, fmt.Errorf("%w: %w", ErrEncoding, err)
 	}
 	return &ibe.Ciphertext{C1: &c1, C2: &c2}, nil
 }
@@ -99,7 +99,7 @@ func UnmarshalCompactReKey(data []byte) (*ReKey, error) {
 	}
 	var rk bn254.G1
 	if err := rk.UnmarshalCompressed(data[:bn254.G1CompressedSize]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrEncoding, err)
+		return nil, fmt.Errorf("%w: %w", ErrEncoding, err)
 	}
 	encX, err := ibeCiphertextFromCompact(data[bn254.G1CompressedSize:])
 	if err != nil {

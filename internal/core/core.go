@@ -46,6 +46,8 @@ type Type string
 // Delegator wraps the private key of the party who encrypts, categorizes
 // and delegates messages. It caches ê(sk_id, g₂) = ê(pk_id, pk₁), which
 // makes Encrypt pairing-free.
+//
+// phrlint:secret — wraps the identity private key.
 type Delegator struct {
 	key *ibe.PrivateKey
 	// base is ê(pk_id, pk₁), the pairing value every ciphertext masks
@@ -250,6 +252,8 @@ func DecryptReEncrypted(sk *ibe.PrivateKey, rct *ReCiphertext) (*bn254.GT, error
 // collusion-safety discussion). It opens every type-t ciphertext of the
 // delegator — which the delegatee was entitled to read anyway — and nothing
 // else. The master key sk_id remains hidden.
+//
+// phrlint:secret — opens every type-t ciphertext of the delegator.
 type TypeKey struct {
 	Type Type
 	K    *bn254.G1 // sk_id^H2(sk_id‖t)

@@ -46,12 +46,12 @@ func UnmarshalCiphertext(data []byte) (*Ciphertext, error) {
 	}
 	var c1 bn254.G2
 	if err := c1.Unmarshal(data[:bn254.G2Size]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrEncoding, err)
+		return nil, fmt.Errorf("%w: %w", ErrEncoding, err)
 	}
 	data = data[bn254.G2Size:]
 	var c2 bn254.GT
 	if err := c2.Unmarshal(data[:bn254.GTSize]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrEncoding, err)
+		return nil, fmt.Errorf("%w: %w", ErrEncoding, err)
 	}
 	data = data[bn254.GTSize:]
 	t, rest, err := readString(data)
@@ -96,11 +96,11 @@ func UnmarshalReKey(data []byte) (*ReKey, error) {
 	}
 	var rk bn254.G1
 	if err := rk.Unmarshal(data[:bn254.G1Size]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrEncoding, err)
+		return nil, fmt.Errorf("%w: %w", ErrEncoding, err)
 	}
 	encX, err := ibe.UnmarshalCiphertext(data[bn254.G1Size:])
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrEncoding, err)
+		return nil, fmt.Errorf("%w: %w", ErrEncoding, err)
 	}
 	return &ReKey{
 		Type:        Type(t),
@@ -131,12 +131,12 @@ func UnmarshalReCiphertext(data []byte) (*ReCiphertext, error) {
 	}
 	var c1 bn254.G2
 	if err := c1.Unmarshal(data[:bn254.G2Size]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrEncoding, err)
+		return nil, fmt.Errorf("%w: %w", ErrEncoding, err)
 	}
 	data = data[bn254.G2Size:]
 	var c2 bn254.GT
 	if err := c2.Unmarshal(data[:bn254.GTSize]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrEncoding, err)
+		return nil, fmt.Errorf("%w: %w", ErrEncoding, err)
 	}
 	data = data[bn254.GTSize:]
 	t, data, err := readString(data)
@@ -153,7 +153,7 @@ func UnmarshalReCiphertext(data []byte) (*ReCiphertext, error) {
 	}
 	encX, err := ibe.UnmarshalCiphertext(data)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrEncoding, err)
+		return nil, fmt.Errorf("%w: %w", ErrEncoding, err)
 	}
 	return &ReCiphertext{
 		C1:          &c1,

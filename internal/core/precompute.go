@@ -25,7 +25,7 @@ type PreparedReKey struct {
 	rk *ReKey
 
 	mu  sync.RWMutex
-	adj map[string]*bn254.GT // ê(rk, c1) keyed by marshaled c1
+	adj map[string]*bn254.GT // phrlint:guardedby mu — ê(rk, c1) keyed by marshaled c1
 }
 
 // PrepareReKey wraps a proxy key for reuse across requests.

@@ -61,7 +61,7 @@ func UnmarshalCiphertext(data []byte) (*Ciphertext, error) {
 	}
 	kemCT, err := core.UnmarshalCiphertext(kem)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrEncoding, err)
+		return nil, fmt.Errorf("%w: %w", ErrEncoding, err)
 	}
 	return &Ciphertext{KEM: kemCT, Nonce: cloneBytes(nonce), Payload: cloneBytes(payload)}, nil
 }
@@ -105,7 +105,7 @@ func UnmarshalReCiphertext(data []byte) (*ReCiphertext, error) {
 	}
 	kemCT, err := core.UnmarshalReCiphertext(kem)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrEncoding, err)
+		return nil, fmt.Errorf("%w: %w", ErrEncoding, err)
 	}
 	return &ReCiphertext{KEM: kemCT, Nonce: cloneBytes(nonce), Payload: cloneBytes(payload)}, nil
 }

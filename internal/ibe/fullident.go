@@ -124,7 +124,7 @@ func UnmarshalCCACiphertext(data []byte) (*CCACiphertext, error) {
 	}
 	var c1 bn254.G2
 	if err := c1.Unmarshal(data[:bn254.G2Size]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrEncoding, err)
+		return nil, fmt.Errorf("%w: %w", ErrEncoding, err)
 	}
 	data = data[bn254.G2Size:]
 	c2 := make([]byte, sigmaSize)

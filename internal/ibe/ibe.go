@@ -60,7 +60,7 @@ type paramsPre struct {
 	pk     *bn254.PreparedG2
 
 	mu    sync.Mutex
-	masks map[string]*bn254.GT
+	masks map[string]*bn254.GT // phrlint:guardedby mu
 }
 
 // newParamsPre attaches fresh (empty) precomputation state.
@@ -113,6 +113,8 @@ func (p *Params) EncryptionMask(id string) *bn254.GT {
 // KGC is a Key Generation Center: the holder of a master secret α who can
 // extract identity private keys. The paper's trust model (§4.2) treats KGCs
 // as semi-trusted: honest but curious.
+//
+// phrlint:secret — the master scalar must never reach fmt/log output.
 type KGC struct {
 	params Params
 	master *big.Int
@@ -148,6 +150,8 @@ func PublicKeyOf(id string) *bn254.G1 {
 
 // PrivateKey is an extracted identity key sk_id = H1(id)^α together with
 // the parameters of the KGC that issued it.
+//
+// phrlint:secret — sk_id opens every ciphertext of the identity.
 type PrivateKey struct {
 	ID     string
 	SK     *bn254.G1

@@ -32,11 +32,11 @@ func UnmarshalCiphertext(data []byte) (*Ciphertext, error) {
 	}
 	var c1 bn254.G2
 	if err := c1.Unmarshal(data[:bn254.G2Size]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrEncoding, err)
+		return nil, fmt.Errorf("%w: %w", ErrEncoding, err)
 	}
 	var c2 bn254.GT
 	if err := c2.Unmarshal(data[bn254.G2Size:]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrEncoding, err)
+		return nil, fmt.Errorf("%w: %w", ErrEncoding, err)
 	}
 	return &Ciphertext{C1: &c1, C2: &c2}, nil
 }
@@ -59,7 +59,7 @@ func UnmarshalByteCiphertext(data []byte) (*ByteCiphertext, error) {
 	}
 	var c1 bn254.G2
 	if err := c1.Unmarshal(data[:bn254.G2Size]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrEncoding, err)
+		return nil, fmt.Errorf("%w: %w", ErrEncoding, err)
 	}
 	n := binary.BigEndian.Uint32(data[bn254.G2Size : bn254.G2Size+4])
 	body := data[bn254.G2Size+4:]
@@ -97,7 +97,7 @@ func UnmarshalPrivateKey(data []byte, params *Params) (*PrivateKey, error) {
 	id := string(data[4 : 4+n])
 	var sk bn254.G1
 	if err := sk.Unmarshal(data[4+n:]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrEncoding, err)
+		return nil, fmt.Errorf("%w: %w", ErrEncoding, err)
 	}
 	return &PrivateKey{ID: id, SK: &sk, Params: params}, nil
 }
@@ -159,7 +159,7 @@ func UnmarshalParams(data []byte) (*Params, error) {
 	name := string(data[4 : 4+n])
 	var pk bn254.G2
 	if err := pk.Unmarshal(data[4+n:]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrEncoding, err)
+		return nil, fmt.Errorf("%w: %w", ErrEncoding, err)
 	}
 	return &Params{Name: name, PK: &pk, pre: newParamsPre()}, nil
 }

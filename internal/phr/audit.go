@@ -55,8 +55,8 @@ type AuditEntry struct {
 // log is what makes that trust inspectable.
 type AuditLog struct {
 	mu      sync.RWMutex
-	nextSeq uint64
-	entries []AuditEntry
+	nextSeq uint64       // phrlint:guardedby mu
+	entries []AuditEntry // phrlint:guardedby mu
 	// Incremental JSON encode cache: encBuf holds the comma-joined JSON
 	// encodings of entries[:encodedN] (the array body, no brackets).
 	// Entries are immutable once appended, so the cache only ever extends —
@@ -64,8 +64,8 @@ type AuditLog struct {
 	// instead of re-marshaling the whole unbounded log per request. The
 	// cache roughly doubles the log's memory; an entry is ~200 bytes either
 	// way.
-	encBuf   []byte
-	encodedN int
+	encBuf   []byte // phrlint:guardedby mu
+	encodedN int    // phrlint:guardedby mu
 }
 
 // NewAuditLog returns an empty log.

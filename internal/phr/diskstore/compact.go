@@ -43,7 +43,7 @@ func (s *Store) Compact() error {
 	// Seal the current log: everything from here on goes to new segments.
 	if s.dirty {
 		if err := s.segs[s.activeID].Sync(); err != nil {
-			return fmt.Errorf("%w: fsync: %v", phr.ErrStorage, err)
+			return fmt.Errorf("%w: fsync: %w", phr.ErrStorage, err)
 		}
 		s.dirty = false
 	}
@@ -78,7 +78,7 @@ func (s *Store) Compact() error {
 
 			f := s.segs[s.activeID]
 			if _, err := f.WriteAt(frame, s.activeSize); err != nil {
-				return fmt.Errorf("%w: compact append: %v", phr.ErrStorage, err)
+				return fmt.Errorf("%w: compact append: %w", phr.ErrStorage, err)
 			}
 			newLocs[id] = entryLoc{
 				seg: s.activeID, off: s.activeSize + frameHeaderLen,
@@ -88,7 +88,7 @@ func (s *Store) Compact() error {
 			liveBytes += int64(len(payload))
 			if s.activeSize >= s.opts.SegmentBytes {
 				if err := f.Sync(); err != nil {
-					return fmt.Errorf("%w: fsync: %v", phr.ErrStorage, err)
+					return fmt.Errorf("%w: fsync: %w", phr.ErrStorage, err)
 				}
 				if err := s.createSegment(s.activeID + 1); err != nil {
 					return err
@@ -98,7 +98,7 @@ func (s *Store) Compact() error {
 	}
 	// Make the compacted copies durable before any old entry disappears.
 	if err := s.segs[s.activeID].Sync(); err != nil {
-		return fmt.Errorf("%w: fsync: %v", phr.ErrStorage, err)
+		return fmt.Errorf("%w: fsync: %w", phr.ErrStorage, err)
 	}
 
 	// Point the index at the new copies, then drop the old segments,
@@ -112,7 +112,7 @@ func (s *Store) Compact() error {
 			delete(s.segs, id)
 		}
 		if err := os.Remove(filepath.Join(s.dir, segName(id))); err != nil {
-			return fmt.Errorf("%w: removing %s: %v", phr.ErrStorage, segName(id), err)
+			return fmt.Errorf("%w: removing %s: %w", phr.ErrStorage, segName(id), err)
 		}
 	}
 	if err := s.syncDir(); err != nil {

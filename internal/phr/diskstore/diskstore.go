@@ -207,7 +207,7 @@ func parseSegName(name string) (int, bool) {
 func Open(dir string, opts Options) (*Store, error) {
 	opts = opts.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("%w: %v", phr.ErrStorage, err)
+		return nil, fmt.Errorf("%w: %w", phr.ErrStorage, err)
 	}
 	s := &Store{
 		dir:       dir,
@@ -237,7 +237,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		fi, err := s.segs[s.activeID].Stat()
 		if err != nil {
 			s.closeFiles()
-			return nil, fmt.Errorf("%w: %v", phr.ErrStorage, err)
+			return nil, fmt.Errorf("%w: %w", phr.ErrStorage, err)
 		}
 		s.activeSize = fi.Size()
 	}
@@ -254,7 +254,7 @@ func Open(dir string, opts Options) (*Store, error) {
 func (s *Store) segmentIDs() ([]int, error) {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", phr.ErrStorage, err)
+		return nil, fmt.Errorf("%w: %w", phr.ErrStorage, err)
 	}
 	var ids []int
 	for _, e := range entries {
@@ -274,14 +274,14 @@ func (s *Store) replaySegment(id int, last bool) error {
 	path := filepath.Join(s.dir, segName(id))
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
-		return fmt.Errorf("%w: %v", phr.ErrStorage, err)
+		return fmt.Errorf("%w: %w", phr.ErrStorage, err)
 	}
 	s.segs[id] = f
 	s.recovery.Segments++
 
 	fi, err := f.Stat()
 	if err != nil {
-		return fmt.Errorf("%w: %v", phr.ErrStorage, err)
+		return fmt.Errorf("%w: %w", phr.ErrStorage, err)
 	}
 	size := fi.Size()
 
@@ -296,10 +296,10 @@ func (s *Store) replaySegment(id int, last bool) error {
 			}
 			// WAL recovery: drop the torn tail, keep the valid prefix.
 			if err := f.Truncate(off); err != nil {
-				return fmt.Errorf("%w: truncating torn tail: %v", phr.ErrStorage, err)
+				return fmt.Errorf("%w: truncating torn tail: %w", phr.ErrStorage, err)
 			}
 			if err := f.Sync(); err != nil {
-				return fmt.Errorf("%w: %v", phr.ErrStorage, err)
+				return fmt.Errorf("%w: %w", phr.ErrStorage, err)
 			}
 			s.recovery.TruncatedBytes += size - off
 			return nil
@@ -308,7 +308,7 @@ func (s *Store) replaySegment(id int, last bool) error {
 			return torn("short frame header")
 		}
 		if _, err := f.ReadAt(header[:], off); err != nil {
-			return fmt.Errorf("%w: %v", phr.ErrStorage, err)
+			return fmt.Errorf("%w: %w", phr.ErrStorage, err)
 		}
 		n := binary.BigEndian.Uint32(header[:4])
 		crc := binary.BigEndian.Uint32(header[4:])
@@ -323,7 +323,7 @@ func (s *Store) replaySegment(id int, last bool) error {
 		}
 		payload = payload[:n]
 		if _, err := f.ReadAt(payload, off+frameHeaderLen); err != nil {
-			return fmt.Errorf("%w: %v", phr.ErrStorage, err)
+			return fmt.Errorf("%w: %w", phr.ErrStorage, err)
 		}
 		if crc32.ChecksumIEEE(payload) != crc {
 			return torn("CRC mismatch")
@@ -332,7 +332,7 @@ func (s *Store) replaySegment(id int, last bool) error {
 			// A frame with a valid CRC but an undecodable body was written
 			// whole and then damaged — not a torn write; truncation would
 			// silently discard committed data.
-			return fmt.Errorf("%w: %w: segment %d offset %d: %v", phr.ErrStorage, ErrCorrupt, id, off, err)
+			return fmt.Errorf("%w: %w: segment %d offset %d: %w", phr.ErrStorage, ErrCorrupt, id, off, err)
 		}
 		s.recovery.Entries++
 		off += frameHeaderLen + int64(n)
@@ -405,7 +405,7 @@ func (s *Store) createSegment(id int) error {
 	path := filepath.Join(s.dir, segName(id))
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
 	if err != nil {
-		return fmt.Errorf("%w: %v", phr.ErrStorage, err)
+		return fmt.Errorf("%w: %w", phr.ErrStorage, err)
 	}
 	s.segs[id] = f
 	s.activeID = id
@@ -418,7 +418,7 @@ func (s *Store) createSegment(id int) error {
 func (s *Store) syncDir() error {
 	d, err := os.Open(s.dir)
 	if err != nil {
-		return fmt.Errorf("%w: %v", phr.ErrStorage, err)
+		return fmt.Errorf("%w: %w", phr.ErrStorage, err)
 	}
 	defer d.Close()
 	d.Sync()
@@ -435,14 +435,14 @@ func (s *Store) appendEntry(payload []byte) (seg int, off int64, err error) {
 
 	f := s.segs[s.activeID]
 	if _, err := f.WriteAt(frame, s.activeSize); err != nil {
-		return 0, 0, fmt.Errorf("%w: append: %v", phr.ErrStorage, err)
+		return 0, 0, fmt.Errorf("%w: append: %w", phr.ErrStorage, err)
 	}
 	seg, off = s.activeID, s.activeSize+frameHeaderLen
 	s.activeSize += int64(len(frame))
 
 	if s.opts.Fsync == FsyncAlways {
 		if err := f.Sync(); err != nil {
-			return 0, 0, fmt.Errorf("%w: fsync: %v", phr.ErrStorage, err)
+			return 0, 0, fmt.Errorf("%w: fsync: %w", phr.ErrStorage, err)
 		}
 	} else {
 		s.dirty = true
@@ -452,7 +452,7 @@ func (s *Store) appendEntry(payload []byte) (seg int, off int64, err error) {
 		// Rotate: seal the full segment (sync it so the rotation boundary
 		// is durable) and start the next one.
 		if err := f.Sync(); err != nil {
-			return 0, 0, fmt.Errorf("%w: fsync: %v", phr.ErrStorage, err)
+			return 0, 0, fmt.Errorf("%w: fsync: %w", phr.ErrStorage, err)
 		}
 		s.dirty = false
 		if err := s.createSegment(s.activeID + 1); err != nil {
@@ -471,7 +471,7 @@ func (s *Store) readPayload(loc entryLoc) ([]byte, error) {
 	}
 	payload := make([]byte, loc.n)
 	if _, err := f.ReadAt(payload, loc.off); err != nil {
-		return nil, fmt.Errorf("%w: read: %v", phr.ErrStorage, err)
+		return nil, fmt.Errorf("%w: read: %w", phr.ErrStorage, err)
 	}
 	return payload, nil
 }
@@ -483,7 +483,7 @@ func (s *Store) decodeRecord(loc entryLoc) (*phr.EncryptedRecord, error) {
 	}
 	rec, err := phr.UnmarshalRecord(payload[1:])
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", phr.ErrStorage, err)
+		return nil, fmt.Errorf("%w: %w", phr.ErrStorage, err)
 	}
 	return rec, nil
 }
@@ -701,7 +701,7 @@ func (s *Store) Close() error {
 		<-s.flushDone
 	}
 	if err != nil {
-		return fmt.Errorf("%w: %v", phr.ErrStorage, err)
+		return fmt.Errorf("%w: %w", phr.ErrStorage, err)
 	}
 	return nil
 }

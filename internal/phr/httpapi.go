@@ -645,8 +645,13 @@ func DecodeBulkStream(r io.Reader, yield func(*hybrid.ReCiphertext) error) error
 	br := bufio.NewReader(r)
 	var prefix [4]byte
 	for frames := 0; ; frames++ {
-		if _, err := io.ReadFull(br, prefix[:]); err != nil {
-			if err == io.EOF {
+		if n, err := io.ReadFull(br, prefix[:]); err != nil {
+			// errors.Is, not ==: an io.Reader that wraps its transport's
+			// EOF (adding context with %w) still marks a clean boundary.
+			// The n == 0 guard keeps a wrapped EOF mid-header typed as
+			// truncation (ReadFull only maps the bare sentinel to
+			// ErrUnexpectedEOF).
+			if n == 0 && errors.Is(err, io.EOF) {
 				return nil
 			}
 			return fmt.Errorf("%w in frame header after %d complete frames: %w", ErrTruncatedStream, frames, err)

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -482,6 +483,48 @@ func TestDecodeBulkStreamCorruptAndTruncated(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// wrappedEOFReader serves a fixed stream, then reports end-of-stream as a
+// transport error that wraps io.EOF rather than returning the bare
+// sentinel — the shape a context-adding reader (fmt.Errorf("...: %w", err))
+// produces.
+type wrappedEOFReader struct {
+	data []byte
+}
+
+func (r *wrappedEOFReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, fmt.Errorf("transport closed: %w", io.EOF)
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// TestDecodeBulkStreamWrappedEOF is the regression test for the former
+// `err == io.EOF` comparison at the frame boundary: a wrapped EOF between
+// frames is a clean end of stream, while a wrapped EOF mid-header is still
+// typed truncation.
+func TestDecodeBulkStreamWrappedEOF(t *testing.T) {
+	frame := validFrame(t)
+
+	frames := 0
+	err := DecodeBulkStream(&wrappedEOFReader{data: append([]byte{}, frame...)}, func(*hybrid.ReCiphertext) error {
+		frames++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("wrapped EOF at a frame boundary must read as a clean end of stream, got %v", err)
+	}
+	if frames != 1 {
+		t.Fatalf("yielded %d frames, want 1", frames)
+	}
+
+	err = DecodeBulkStream(&wrappedEOFReader{data: frame[:2]}, func(*hybrid.ReCiphertext) error { return nil })
+	if !errors.Is(err, ErrTruncatedStream) {
+		t.Fatalf("wrapped EOF mid-header must be ErrTruncatedStream, got %v", err)
 	}
 }
 

@@ -18,11 +18,11 @@ type Patient struct {
 	delegator *core.Delegator
 
 	mu      sync.Mutex
-	nextRec int
+	nextRec int // phrlint:guardedby mu
 	// epochs tracks the current rotation epoch per category; absent means
 	// epoch 0 (never rotated). Records and grants are bound to the
 	// category's epoch at creation time (core.VersionedType).
-	epochs map[Category]int
+	epochs map[Category]int // phrlint:guardedby mu
 }
 
 // NewPatient registers a patient at the given KGC and wraps the extracted

@@ -40,7 +40,7 @@ type Proxy struct {
 	audit *AuditLog
 
 	mu     sync.RWMutex
-	grants map[grantKey]*core.PreparedReKey
+	grants map[grantKey]*core.PreparedReKey // phrlint:guardedby mu
 }
 
 // NewProxy creates a proxy with its own audit log.

@@ -109,6 +109,11 @@ func (f *firstErr) get() error {
 func errIs(name string, got *error, target error) Invariant {
 	return Invariant{Name: name, Check: func() error {
 		if !errors.Is(*got, target) {
+			// The mismatch report quotes both errors as text on purpose:
+			// wrapping the *wanted* sentinel with %w would make errors.Is
+			// on the invariant failure match an error that never occurred,
+			// and *got may be nil.
+			//phrlint:ignore errwrap: want/got are quoted as text; wrapping the expected sentinel would forge an errors.Is match
 			return fmt.Errorf("want %v, got %v", target, *got)
 		}
 		return nil
@@ -638,6 +643,9 @@ func FederationChurnDrill(seed int64) (*Drill, error) {
 									return
 								}
 								if _, err := w.Service.ReadCategory(p.ID(), phr.CategoryEmergency, specialist); !errors.Is(err, phr.ErrNoGrant) {
+									// err is nil when the revoked pair was wrongly served — the
+									// failure being reported — so it cannot be wrapped with %w.
+									//phrlint:ignore errwrap: err is nil on the disclosed-after-revoke path; %w of nil would malform the report
 									churnUnexpected.set(fmt.Errorf("round %d: revoked pair disclosed (err=%v)", i, err))
 									return
 								}

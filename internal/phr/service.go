@@ -25,7 +25,7 @@ type Service struct {
 	Store Backend
 
 	mu      sync.RWMutex
-	proxies map[Category]*Proxy
+	proxies map[Category]*Proxy // phrlint:guardedby mu
 }
 
 // NewService creates a service with one dedicated proxy per category,
@@ -36,11 +36,14 @@ func NewService(categories []Category) *Service {
 
 // NewServiceWith creates a service over an explicit storage backend.
 func NewServiceWith(categories []Category, backend Backend) *Service {
-	s := &Service{Store: backend, proxies: map[Category]*Proxy{}}
+	// The proxy map is fully built before the Service is constructed, so
+	// no partially-initialized Service is ever reachable and every access
+	// through s.proxies happens under s.mu.
+	proxies := map[Category]*Proxy{}
 	for _, c := range categories {
-		s.proxies[c] = NewProxy("proxy-" + string(c))
+		proxies[c] = NewProxy("proxy-" + string(c))
 	}
-	return s
+	return &Service{Store: backend, proxies: proxies}
 }
 
 // ProxyFor returns the proxy serving a category.

@@ -97,14 +97,14 @@ func Restore(b Backend, r io.Reader) error {
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return fmt.Errorf("%w: %v", ErrSnapshot, err)
+		return fmt.Errorf("%w: %w", ErrSnapshot, err)
 	}
 	if magic != snapshotMagic {
 		return fmt.Errorf("%w: bad magic", ErrSnapshot)
 	}
 	var u32 [4]byte
 	if _, err := io.ReadFull(br, u32[:]); err != nil {
-		return fmt.Errorf("%w: %v", ErrSnapshot, err)
+		return fmt.Errorf("%w: %w", ErrSnapshot, err)
 	}
 	if v := binary.BigEndian.Uint32(u32[:]); v != snapshotVersion {
 		return fmt.Errorf("%w: unsupported version %d", ErrSnapshot, v)
@@ -115,7 +115,7 @@ func Restore(b Backend, r io.Reader) error {
 	var buf []byte
 	for {
 		if _, err := io.ReadFull(br, u32[:]); err != nil {
-			return fmt.Errorf("%w: record %d frame: %v", ErrSnapshot, count, err)
+			return fmt.Errorf("%w: record %d frame: %w", ErrSnapshot, count, err)
 		}
 		n := binary.BigEndian.Uint32(u32[:])
 		if n == 0 {
@@ -129,11 +129,11 @@ func Restore(b Backend, r io.Reader) error {
 		}
 		buf = buf[:n]
 		if _, err := io.ReadFull(br, buf); err != nil {
-			return fmt.Errorf("%w: record %d body: %v", ErrSnapshot, count, err)
+			return fmt.Errorf("%w: record %d body: %w", ErrSnapshot, count, err)
 		}
 		rec, err := UnmarshalRecord(buf)
 		if err != nil {
-			return fmt.Errorf("%w: record %d: %v", ErrSnapshot, count, err)
+			return fmt.Errorf("%w: record %d: %w", ErrSnapshot, count, err)
 		}
 		if seen[rec.ID] {
 			return fmt.Errorf("%w: %s", ErrSnapshotDuplicate, rec.ID)
@@ -151,7 +151,7 @@ func Restore(b Backend, r io.Reader) error {
 	}
 	var u64 [8]byte
 	if _, err := io.ReadFull(br, u64[:]); err != nil {
-		return fmt.Errorf("%w: trailer: %v", ErrSnapshot, err)
+		return fmt.Errorf("%w: trailer: %w", ErrSnapshot, err)
 	}
 	if want := binary.BigEndian.Uint64(u64[:]); want != count {
 		return fmt.Errorf("%w: trailer count %d, restored %d", ErrSnapshot, want, count)

@@ -31,10 +31,10 @@ type patientCategory struct {
 // O(bytes cloned).
 type memBackend struct {
 	mu        sync.RWMutex
-	closed    bool
-	byID      map[string]*EncryptedRecord
-	byPatient map[string][]string // patient → record IDs, insertion order
-	byPatCat  map[patientCategory][]string
+	closed    bool                         // phrlint:guardedby mu
+	byID      map[string]*EncryptedRecord  // phrlint:guardedby mu
+	byPatient map[string][]string          // phrlint:guardedby mu — patient → record IDs, insertion order
+	byPatCat  map[patientCategory][]string // phrlint:guardedby mu
 }
 
 // NewStore returns an empty in-memory backend — the default storage layer
@@ -164,6 +164,8 @@ func removeString(xs []string, x string) []string {
 // collect copies the record pointers for a list of IDs under the RLock.
 // The returned pointers are the stored records themselves — immutable by
 // the backend's invariant — so the caller clones them lock-free.
+//
+// phrlint:locked mu — the caller holds (at least) the read lock.
 func (s *memBackend) collect(ids []string) []*EncryptedRecord {
 	out := make([]*EncryptedRecord, 0, len(ids))
 	for _, id := range ids {
