@@ -26,6 +26,7 @@ import (
 	"typepre/internal/baselines/dodisivan"
 	"typepre/internal/baselines/ga"
 	"typepre/internal/bn254"
+	"typepre/internal/bn254/fp"
 	"typepre/internal/core"
 	"typepre/internal/hybrid"
 	"typepre/internal/ibe"
@@ -33,7 +34,7 @@ import (
 )
 
 var (
-	experiment = flag.String("e", "all", "experiment to run: e1..e9 or all")
+	experiment = flag.String("e", "all", "experiment to run: e1..e9, pairing-stack, or all")
 	iters      = flag.Int("iters", 20, "timing iterations per data point")
 )
 
@@ -42,6 +43,7 @@ func main() {
 	run := map[string]func(){
 		"e1": e1, "e2": e2, "e3": e3, "e4": e4,
 		"e5": e5, "e6": e6, "e7": e7, "e8": e8, "e9": e9,
+		"pairing-stack": pairingStack,
 	}
 	if *experiment == "all" {
 		keys := make([]string, 0, len(run))
@@ -56,10 +58,57 @@ func main() {
 	}
 	f, ok := run[strings.ToLower(*experiment)]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want e1..e9 or all)\n", *experiment)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want e1..e9, pairing-stack, or all)\n", *experiment)
 		os.Exit(2)
 	}
 	f()
+}
+
+// timeOpN reports the median wall time of one call of f, where each timed
+// sample runs f reps times; used for sub-microsecond field operations that
+// a single time.Now pair cannot resolve.
+func timeOpN(reps int, f func()) time.Duration {
+	d := timeOp(func() {
+		for i := 0; i < reps; i++ {
+			f()
+		}
+	})
+	return d / time.Duration(reps)
+}
+
+// pairingStack reports microbenchmarks down the whole pairing arithmetic
+// stack — the Montgomery-limb Fp core, the group operations built on it,
+// and the pairing variants. CI uploads this next to the committed
+// BENCH_bn254.json trajectory; `go test -bench . ./internal/bn254/...`
+// reproduces the same measurements through the testing harness.
+func pairingStack() {
+	header("pairing-stack — Fp limb core through full pairing")
+	var a, b, out fp.Element
+	a.SetUint64(0xdeadbeefcafef00d)
+	a.Inverse(&a)
+	b.Square(&a)
+	rowNs("Fp mul (Montgomery CIOS)", timeOpN(1024, func() { out.Mul(&a, &b) }))
+	rowNs("Fp square", timeOpN(1024, func() { out.Square(&a) }))
+	rowNs("Fp add", timeOpN(1024, func() { out.Add(&a, &b) }))
+	row("Fp inverse (Fermat, CT)", timeOp(func() { out.Inverse(&a) }))
+	row("Fp sqrt", timeOp(func() { out.Sqrt(&b) }))
+
+	p := bn254.G1Generator()
+	q := bn254.G2Generator()
+	k, err := bn254.RandomScalar(nil)
+	check(err)
+	var g1 bn254.G1
+	row("G1 scalar mult (fixed base)", timeOp(func() { g1.ScalarBaseMult(k) }))
+	var g2 bn254.G2
+	row("G2 scalar mult (fixed base)", timeOp(func() { g2.ScalarBaseMult(k) }))
+	var gt bn254.GT
+	base := bn254.GTBase()
+	row("GT exponentiation", timeOp(func() { gt.Exp(base, k) }))
+	row("GT fixed-base exp", timeOp(func() { bn254.GTExpBase(k) }))
+	row("pairing (optimal ate)", timeOp(func() { bn254.Pair(p, q) }))
+	prep := bn254.G2GeneratorPrepared()
+	row("pairing (prepared G2)", timeOp(func() { bn254.PairPrepared(p, prep) }))
+	row("G2 preparation (one-time)", timeOp(func() { bn254.PrepareG2(q) }))
 }
 
 // timeOp reports the median wall time of n runs of f.
@@ -81,6 +130,12 @@ func header(title string) {
 
 func row(name string, d time.Duration) {
 	fmt.Printf("  %-28s %12s\n", name, d.Round(time.Microsecond))
+}
+
+// rowNs prints with nanosecond precision, for operations far below the
+// microsecond rounding of row.
+func rowNs(name string, d time.Duration) {
+	fmt.Printf("  %-28s %12s\n", name, d.Round(time.Nanosecond))
 }
 
 // fixture shared by the scheme-level experiments.
@@ -128,7 +183,7 @@ func check(err error) {
 }
 
 func e1() {
-	header("E1 (Table 1) — pairing-substrate primitive costs, BN254/math-big")
+	header("E1 (Table 1) — pairing-substrate primitive costs, BN254/montgomery-limbs")
 	p := bn254.G1Generator()
 	q := bn254.G2Generator()
 	k, _ := bn254.RandomScalar(nil)

@@ -29,7 +29,9 @@ var Analyzer = &analysis.Analyzer{
 
 // cryptoPkgs are the packages where no use of math/rand is ever
 // legitimate: every random value they draw is (or directly masks) key
-// material.
+// material. Matching is on the path segment directly under internal/, so
+// each entry covers its whole subtree — internal/bn254/fp (the
+// Montgomery-limb field core) is covered by the bn254 entry.
 var cryptoPkgs = []string{"bn254", "ibe", "core", "hybrid"}
 
 // plumbingFuncs are the functions, in the phr package itself, that *are*

@@ -11,6 +11,13 @@ func TestCryptoPackagesBanMathRand(t *testing.T) {
 	analysistest.Run(t, "testdata", secretrand.Analyzer, "typepre/internal/bn254")
 }
 
+func TestCryptoSubpackagesBanMathRand(t *testing.T) {
+	// The ban covers subpackages of the crypto roots too: the
+	// Montgomery-limb field core internal/bn254/fp must classify as
+	// cryptographic without its own cryptoPkgs entry.
+	analysistest.Run(t, "testdata", secretrand.Analyzer, "typepre/internal/bn254/fp")
+}
+
 func TestPhrPlumbingException(t *testing.T) {
 	analysistest.Run(t, "testdata", secretrand.Analyzer,
 		"typepre/internal/phr", "typepre/internal/phr/scenario")

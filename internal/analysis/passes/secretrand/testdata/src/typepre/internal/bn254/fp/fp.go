@@ -1,0 +1,13 @@
+// Package fp (testdata) models a subpackage of a cryptographic package:
+// the math/rand ban applies to the whole internal/bn254 subtree, so the
+// Montgomery-limb field core is covered without its own entry in
+// cryptoPkgs.
+package fp
+
+import (
+	"math/rand" // want `math/rand imported in cryptographic package typepre/internal/bn254/fp: secret scalars must come from crypto/rand`
+)
+
+func Limb() uint64 {
+	return rand.Uint64()
+}

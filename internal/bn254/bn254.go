@@ -14,17 +14,26 @@
 // where p = 36u⁴+36u³+24u²+6u+1 and r = 36u⁴+36u³+18u²+6u+1. The extension
 // tower is Fp2 = Fp[i]/(i²+1), Fp6 = Fp2[τ]/(τ³−ξ), Fp12 = Fp6[ω]/(ω²−τ).
 //
-// Arithmetic uses math/big in affine coordinates. This implementation favors
-// auditability over raw speed and is NOT constant time; it must not be used
-// to protect real secrets against local side-channel adversaries. For the
-// reproduction study (functional correctness, relative costs, protocol
-// behavior) this is the documented substitution for the era's PBC/MIRACL
-// libraries — see DESIGN.md.
+// Base-field arithmetic runs on the 4×64-bit Montgomery-limb elements of
+// internal/bn254/fp; see docs/bn254.md for the representation. Side-channel
+// posture, precisely: all Fp and Fp2 field arithmetic (add, sub, neg, mul,
+// square, inversion, square root) is constant time — an input-independent
+// sequence of word operations with no secret-dependent branches or table
+// indices. What is NOT constant time, and is documented as such: scalar
+// recoding (the double-and-add ladders and fixed-base window tables branch
+// on scalar bits), hash-to-curve (try-and-increment by construction), the
+// point-at-infinity flags, and the big.Int conversion shims. Scalars and
+// hashing inputs therefore leak timing; protecting real long-term secrets
+// against a local side-channel adversary additionally requires a
+// constant-time ladder, which this reproduction does not claim — see
+// DESIGN.md for the substitution argument against the era's PBC/MIRACL
+// libraries.
 package bn254
 
 import (
-	"fmt"
 	"math/big"
+
+	"typepre/internal/bn254/fp"
 )
 
 // u is the BN parameter. All curve constants derive from it.
@@ -41,7 +50,7 @@ var (
 	Order, _ = new(big.Int).SetString("21888242871839275222246405745257275088548364400416034343698204186575808495617", 10)
 
 	// curveB is the constant of E: y² = x³ + curveB over Fp.
-	curveB = big.NewInt(3)
+	curveB fp.Element
 
 	// ateLoopCount is 6u+2, the Miller loop length of the optimal ate pairing.
 	ateLoopCount = new(big.Int)
@@ -80,6 +89,9 @@ func init() {
 	if pCheck.Cmp(P) != 0 {
 		panic("bn254: field modulus does not match BN(u) derivation")
 	}
+	if fp.Modulus().Cmp(P) != 0 {
+		panic("bn254: fp package modulus does not match P")
+	}
 
 	rCheck := new(big.Int).Mul(u4, big.NewInt(36))
 	rCheck.Add(rCheck, new(big.Int).Mul(u3, big.NewInt(36)))
@@ -93,15 +105,17 @@ func init() {
 	ateLoopCount.Mul(u, big.NewInt(6))
 	ateLoopCount.Add(ateLoopCount, big.NewInt(2))
 
+	curveB.SetUint64(3)
+
 	// ξ = 9 + i.
 	var xi fp2
-	xi.c0.SetInt64(9)
-	xi.c1.SetInt64(1)
+	xi.c0.SetUint64(9)
+	xi.c1.SetUint64(1)
 
 	// twistB = 3 · ξ⁻¹.
 	var xiInv fp2
 	xiInv.Inverse(&xi)
-	twistB.MulScalar(&xiInv, curveB)
+	twistB.MulScalar(&xiInv, &curveB)
 
 	pm1 := new(big.Int).Sub(P, big.NewInt(1))
 	e6 := new(big.Int).Div(pm1, big.NewInt(6))
@@ -123,9 +137,3 @@ func init() {
 
 	initGenerators()
 }
-
-// modP reduces x into [0, p).
-func modP(x *big.Int) *big.Int { return x.Mod(x, P) }
-
-// fpString formats a base-field element for debugging.
-func fpString(x *big.Int) string { return fmt.Sprintf("%d", x) }

@@ -3,7 +3,8 @@ package bn254
 import (
 	"errors"
 	"fmt"
-	"math/big"
+
+	"typepre/internal/bn254/fp"
 )
 
 // Compressed point encodings: x-coordinate plus a one-byte header carrying
@@ -28,12 +29,13 @@ func (p *G1) MarshalCompressed() []byte {
 		out[0] = compressedInfinity
 		return out
 	}
-	if fpLexLarger(&p.y) {
+	if p.y.LexLarger() {
 		out[0] = compressedOdd
 	} else {
 		out[0] = compressedEven
 	}
-	p.x.FillBytes(out[1:])
+	xb := p.x.Bytes()
+	copy(out[1:], xb[:])
 	return out
 }
 
@@ -51,32 +53,31 @@ func (p *G1) UnmarshalCompressed(data []byte) error {
 			}
 		}
 		p.inf = true
-		p.x.SetInt64(0)
-		p.y.SetInt64(0)
+		p.x.SetZero()
+		p.y.SetZero()
 		return nil
 	case compressedEven, compressedOdd:
 	default:
 		return fmt.Errorf("bn254: invalid compression header 0x%02x", data[0])
 	}
-	x := new(big.Int).SetBytes(data[1:])
-	if x.Cmp(P) >= 0 {
+	var x fp.Element
+	if !x.SetBytes(data[1:]) {
 		return errors.New("bn254: compressed G1 x out of range")
 	}
 	// y² = x³ + 3
-	y2 := new(big.Int).Mul(x, x)
-	y2.Mul(y2, x)
-	y2.Add(y2, curveB)
-	y2.Mod(y2, P)
-	y, ok := fpSqrt(y2)
-	if !ok {
+	var y2 fp.Element
+	y2.Square(&x)
+	y2.Mul(&y2, &x)
+	y2.Add(&y2, &curveB)
+	var y fp.Element
+	if !y.Sqrt(&y2) {
 		return errors.New("bn254: compressed G1 x not on curve")
 	}
-	if fpLexLarger(y) != (data[0] == compressedOdd) {
-		y.Sub(P, y)
-		y.Mod(y, P)
+	if y.LexLarger() != (data[0] == compressedOdd) {
+		y.Neg(&y)
 	}
-	p.x.Set(x)
-	p.y.Set(y)
+	p.x.Set(&x)
+	p.y.Set(&y)
 	p.inf = false
 	return nil
 }
@@ -97,8 +98,10 @@ func (p *G2) MarshalCompressed() []byte {
 	} else {
 		out[0] = compressedEven
 	}
-	p.x.c0.FillBytes(out[1 : 1+32])
-	p.x.c1.FillBytes(out[1+32:])
+	c0 := p.x.c0.Bytes()
+	c1 := p.x.c1.Bytes()
+	copy(out[1:1+32], c0[:])
+	copy(out[1+32:], c1[:])
 	return out
 }
 
@@ -125,9 +128,7 @@ func (p *G2) UnmarshalCompressed(data []byte) error {
 		return fmt.Errorf("bn254: invalid compression header 0x%02x", data[0])
 	}
 	var x fp2
-	x.c0.SetBytes(data[1 : 1+32])
-	x.c1.SetBytes(data[1+32:])
-	if x.c0.Cmp(P) >= 0 || x.c1.Cmp(P) >= 0 {
+	if !x.c0.SetBytes(data[1:1+32]) || !x.c1.SetBytes(data[1+32:]) {
 		return errors.New("bn254: compressed G2 x out of range")
 	}
 	// y² = x³ + b'

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"typepre/internal/bn254/fp"
 )
 
 // ---------------------------------------------------------------------------
@@ -14,17 +16,15 @@ import (
 func TestFpSqrt(t *testing.T) {
 	r := rand.New(rand.NewSource(20))
 	for i := 0; i < 20; i++ {
-		x := randFp(r)
-		sq := new(big.Int).Mul(x, x)
-		sq.Mod(sq, P)
-		y, ok := fpSqrt(sq)
-		if !ok {
-			t.Fatal("square rejected by fpSqrt")
+		var x, sq, y, y2 fp.Element
+		x.SetBigInt(randFp(r))
+		sq.Square(&x)
+		if !y.Sqrt(&sq) {
+			t.Fatal("square rejected by Sqrt")
 		}
-		y2 := new(big.Int).Mul(y, y)
-		y2.Mod(y2, P)
-		if y2.Cmp(sq) != 0 {
-			t.Fatal("fpSqrt returned a non-root")
+		y2.Square(&y)
+		if !y2.Equal(&sq) {
+			t.Fatal("Sqrt returned a non-root")
 		}
 	}
 }

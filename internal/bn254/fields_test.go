@@ -14,8 +14,8 @@ func randFp(r *rand.Rand) *big.Int {
 
 func randFp2(r *rand.Rand) *fp2 {
 	var e fp2
-	e.c0.Set(randFp(r))
-	e.c1.Set(randFp(r))
+	e.c0.SetBigInt(randFp(r))
+	e.c1.SetBigInt(randFp(r))
 	return &e
 }
 
@@ -142,8 +142,8 @@ func TestFp2Conjugate(t *testing.T) {
 
 func TestMulByXi(t *testing.T) {
 	var xi fp2
-	xi.c0.SetInt64(9)
-	xi.c1.SetInt64(1)
+	xi.c0.SetUint64(9)
+	xi.c1.SetUint64(1)
 	r := rand.New(rand.NewSource(8))
 	for i := 0; i < 10; i++ {
 		a := randFp2(r)

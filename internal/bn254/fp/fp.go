@@ -1,0 +1,489 @@
+// Package fp implements the BN254 base field Fp on fixed-width 4×64-bit
+// limbs with Montgomery multiplication, replacing the math/big arithmetic
+// the pairing stack was originally written against.
+//
+// The modulus is
+//
+//	p = 21888242871839275222246405745257275088696311157297823662689037894645226208583
+//
+// (254 bits). An Element stores the residue x as x·R mod p with R = 2^256,
+// little-endian limbs ("Montgomery form"). Products are reduced with the
+// CIOS (coarsely integrated operand scanning) interleaving of schoolbook
+// multiplication and Montgomery reduction, built entirely from
+// math/bits.Mul64/Add64/Sub64 — no assembly, no heap allocation.
+//
+// Constant-time contract: Add, Sub, Neg, Double, Mul, Square, Inverse,
+// Sqrt, Select, IsZero, Equal and the Montgomery conversions perform an
+// input-independent sequence of word operations (Inverse and Sqrt are
+// fixed-window exponentiations by the public constant exponents p−2 and
+// (p+1)/4). Conversion to/from big.Int, String and ExpBig are NOT constant
+// time and must only see public values.
+//
+// All hard-coded constants are re-derived from the decimal modulus at
+// package init and cross-checked; a mismatch panics, so a transcribed
+// constant cannot silently corrupt the arithmetic (the same guard idiom the
+// parent package uses for its curve constants).
+package fp
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+)
+
+// Element is an Fp element in Montgomery form. The zero value is the field
+// zero. Elements are always kept reduced (< p), so representations are
+// canonical and Equal is limb equality.
+type Element [4]uint64
+
+// Limbs of the modulus p.
+const (
+	q0 uint64 = 0x3c208c16d87cfd47
+	q1 uint64 = 0x97816a916871ca8d
+	q2 uint64 = 0xb85045b68181585d
+	q3 uint64 = 0x30644e72e131a029
+)
+
+// qInvNeg = -p⁻¹ mod 2^64, the Montgomery reduction constant.
+const qInvNeg uint64 = 0x87d20782e4866389
+
+var (
+	// rSquare = R² mod p, in raw limbs; multiplying by it converts a raw
+	// residue into Montgomery form.
+	rSquare = Element{0xf32cfc5b538afa89, 0xb5e71911d44501fb, 0x47ab1eff0a417ff6, 0x06d89f71cab8351f}
+
+	// one is 1 in Montgomery form (R mod p).
+	one = Element{0xd35d438dc58f0d9d, 0x0a78eb28f5c70b3d, 0x666ea36f7879462c, 0x0e0a77c19a07df2f}
+
+	// pMinus2 is the Inverse exponent p−2 (Fermat), raw limbs.
+	pMinus2 = [4]uint64{0x3c208c16d87cfd45, 0x97816a916871ca8d, 0xb85045b68181585d, 0x30644e72e131a029}
+
+	// pPlus1Over4 is the Sqrt exponent (p+1)/4 (p ≡ 3 mod 4), raw limbs.
+	pPlus1Over4 = [4]uint64{0x4f082305b61f3f52, 0x65e05aa45a1c72a3, 0x6e14116da0605617, 0x0c19139cb84c680a}
+
+	// modulus is p as a big.Int, for the conversion shims.
+	modulus *big.Int
+)
+
+func init() {
+	p, ok := new(big.Int).SetString("21888242871839275222246405745257275088696311157297823662689037894645226208583", 10)
+	if !ok {
+		panic("fp: bad modulus literal")
+	}
+	modulus = p
+
+	toLimbs := func(x *big.Int) (out [4]uint64) {
+		for i, w := range x.Bits() {
+			out[i] = uint64(w)
+		}
+		return
+	}
+	if toLimbs(p) != [4]uint64{q0, q1, q2, q3} {
+		panic("fp: modulus limbs do not match decimal modulus")
+	}
+
+	two64 := new(big.Int).Lsh(big.NewInt(1), 64)
+	pInv := new(big.Int).ModInverse(p, two64)
+	if new(big.Int).Mod(new(big.Int).Neg(pInv), two64).Uint64() != qInvNeg {
+		panic("fp: qInvNeg does not match -p⁻¹ mod 2^64")
+	}
+
+	r := new(big.Int).Lsh(big.NewInt(1), 256)
+	rMod := new(big.Int).Mod(r, p)
+	if Element(toLimbs(rMod)) != one {
+		panic("fp: Montgomery one does not match R mod p")
+	}
+	r2 := new(big.Int).Mul(rMod, rMod)
+	r2.Mod(r2, p)
+	if Element(toLimbs(r2)) != rSquare {
+		panic("fp: rSquare does not match R² mod p")
+	}
+
+	if toLimbs(new(big.Int).Sub(p, big.NewInt(2))) != pMinus2 {
+		panic("fp: pMinus2 does not match p−2")
+	}
+	pp14 := new(big.Int).Add(p, big.NewInt(1))
+	pp14.Rsh(pp14, 2)
+	if toLimbs(pp14) != pPlus1Over4 {
+		panic("fp: pPlus1Over4 does not match (p+1)/4")
+	}
+}
+
+// Modulus returns a copy of p.
+func Modulus() *big.Int { return new(big.Int).Set(modulus) }
+
+// ---------------------------------------------------------------------------
+// Assignment and predicates
+// ---------------------------------------------------------------------------
+
+// Set assigns a to z and returns z.
+func (z *Element) Set(a *Element) *Element {
+	*z = *a
+	return z
+}
+
+// SetZero assigns 0 to z and returns z.
+func (z *Element) SetZero() *Element {
+	*z = Element{}
+	return z
+}
+
+// SetOne assigns 1 to z and returns z.
+func (z *Element) SetOne() *Element {
+	*z = one
+	return z
+}
+
+// SetUint64 assigns the small integer v (taken mod p) to z and returns z.
+func (z *Element) SetUint64(v uint64) *Element {
+	*z = Element{v}
+	return z.toMont()
+}
+
+// IsZero reports whether z == 0. Constant time.
+func (z *Element) IsZero() bool {
+	return z[0]|z[1]|z[2]|z[3] == 0
+}
+
+// IsOne reports whether z == 1. Constant time.
+func (z *Element) IsOne() bool {
+	return z.Equal(&one)
+}
+
+// Equal reports whether z == a. Constant time: representations are
+// canonical, so limb equality is field equality.
+func (z *Element) Equal(a *Element) bool {
+	return (z[0]^a[0])|(z[1]^a[1])|(z[2]^a[2])|(z[3]^a[3]) == 0
+}
+
+// Select sets z = a if cond == 1 and z = b if cond == 0, in constant time.
+// cond must be 0 or 1.
+func (z *Element) Select(cond uint64, a, b *Element) *Element {
+	mask := -cond
+	z[0] = b[0] ^ (mask & (a[0] ^ b[0]))
+	z[1] = b[1] ^ (mask & (a[1] ^ b[1]))
+	z[2] = b[2] ^ (mask & (a[2] ^ b[2]))
+	z[3] = b[3] ^ (mask & (a[3] ^ b[3]))
+	return z
+}
+
+// ---------------------------------------------------------------------------
+// Additive arithmetic (constant time)
+// ---------------------------------------------------------------------------
+
+// reduce conditionally subtracts p so that the limbs (with the incoming
+// carry bit) land in [0, p). Constant time.
+func (z *Element) reduce(carry uint64) *Element {
+	var t Element
+	var b uint64
+	t[0], b = bits.Sub64(z[0], q0, 0)
+	t[1], b = bits.Sub64(z[1], q1, b)
+	t[2], b = bits.Sub64(z[2], q2, b)
+	t[3], b = bits.Sub64(z[3], q3, b)
+	// Keep the subtracted value when the subtraction did not borrow, or
+	// when a carry limb means the true value overflowed 2^256.
+	return z.Select(carry|(b^1), &t, z)
+}
+
+// Add sets z = a + b and returns z.
+func (z *Element) Add(a, b *Element) *Element {
+	var c uint64
+	z[0], c = bits.Add64(a[0], b[0], 0)
+	z[1], c = bits.Add64(a[1], b[1], c)
+	z[2], c = bits.Add64(a[2], b[2], c)
+	z[3], c = bits.Add64(a[3], b[3], c)
+	return z.reduce(c)
+}
+
+// Double sets z = 2a and returns z.
+func (z *Element) Double(a *Element) *Element {
+	return z.Add(a, a)
+}
+
+// Sub sets z = a − b and returns z.
+func (z *Element) Sub(a, b *Element) *Element {
+	var bo uint64
+	z[0], bo = bits.Sub64(a[0], b[0], 0)
+	z[1], bo = bits.Sub64(a[1], b[1], bo)
+	z[2], bo = bits.Sub64(a[2], b[2], bo)
+	z[3], bo = bits.Sub64(a[3], b[3], bo)
+	// If the subtraction borrowed, add p back; mask keeps it branch-free.
+	mask := -bo
+	var c uint64
+	z[0], c = bits.Add64(z[0], mask&q0, 0)
+	z[1], c = bits.Add64(z[1], mask&q1, c)
+	z[2], c = bits.Add64(z[2], mask&q2, c)
+	z[3], _ = bits.Add64(z[3], mask&q3, c)
+	return z
+}
+
+// Neg sets z = −a and returns z.
+func (z *Element) Neg(a *Element) *Element {
+	// p − a, masked to zero when a == 0 so the result stays canonical.
+	v := a[0] | a[1] | a[2] | a[3]
+	mask := -((v | -v) >> 63) // all-ones iff a != 0
+	var b uint64
+	z[0], b = bits.Sub64(q0, a[0], 0)
+	z[1], b = bits.Sub64(q1, a[1], b)
+	z[2], b = bits.Sub64(q2, a[2], b)
+	z[3], _ = bits.Sub64(q3, a[3], b)
+	z[0] &= mask
+	z[1] &= mask
+	z[2] &= mask
+	z[3] &= mask
+	return z
+}
+
+// ---------------------------------------------------------------------------
+// Montgomery multiplication (constant time)
+// ---------------------------------------------------------------------------
+
+// Mul sets z = a·b (Montgomery product a·b·R⁻¹ mod p) and returns z.
+// Aliasing of z with a or b is allowed.
+//
+// This is Acar's CIOS algorithm: each of the four outer rounds accumulates
+// one partial product row and immediately cancels the low limb with a
+// multiple of p, keeping the working value in five limbs. Because
+// p < 2^255, the result before the final reduction is < 2p, so a single
+// conditional subtraction canonicalizes it.
+func (z *Element) Mul(a, b *Element) *Element {
+	var t [5]uint64 // t[4] is the overflow limb; never exceeds one bit + carries
+
+	for i := 0; i < 4; i++ {
+		// t += a * b[i]
+		bi := b[i]
+		var c uint64
+		for j := 0; j < 4; j++ {
+			hi, lo := bits.Mul64(a[j], bi)
+			var c1, c2 uint64
+			lo, c1 = bits.Add64(lo, t[j], 0)
+			lo, c2 = bits.Add64(lo, c, 0)
+			t[j] = lo
+			// t[j] + a[j]·b[i] + c < 2^128, so hi+c1+c2 cannot wrap.
+			c = hi + c1 + c2
+		}
+		t4, carry := bits.Add64(t[4], c, 0)
+
+		// t = (t + m·p) / 2^64 with m chosen to zero the low limb.
+		m := t[0] * qInvNeg
+		hi, lo := bits.Mul64(m, q0)
+		_, c1 := bits.Add64(lo, t[0], 0)
+		c = hi + c1 // lo + t[0] == 0 mod 2^64 by choice of m
+		for j := 1; j < 4; j++ {
+			hi, lo := bits.Mul64(m, qLimbs[j])
+			var c2, c3 uint64
+			lo, c2 = bits.Add64(lo, t[j], 0)
+			lo, c3 = bits.Add64(lo, c, 0)
+			t[j-1] = lo
+			c = hi + c2 + c3
+		}
+		var c4 uint64
+		t[3], c4 = bits.Add64(t4, c, 0)
+		t[4] = carry + c4
+	}
+
+	z[0], z[1], z[2], z[3] = t[0], t[1], t[2], t[3]
+	return z.reduce(t[4])
+}
+
+// qLimbs exposes the modulus limbs to the reduction loop by index.
+var qLimbs = [4]uint64{q0, q1, q2, q3}
+
+// Square sets z = a² and returns z. A dedicated squaring saves under ~15%
+// for 4 limbs; this implementation keeps one multiplication path so the
+// differential fuzz surface stays small.
+func (z *Element) Square(a *Element) *Element {
+	return z.Mul(a, a)
+}
+
+// toMont converts raw residue limbs into Montgomery form in place.
+func (z *Element) toMont() *Element {
+	return z.Mul(z, &rSquare)
+}
+
+// fromMont converts z out of Montgomery form: a Montgomery product with the
+// raw integer 1 divides by R.
+func (z *Element) fromMont() *Element {
+	return z.Mul(z, &Element{1})
+}
+
+// ---------------------------------------------------------------------------
+// Exponentiation-based operations (constant time, public fixed exponents)
+// ---------------------------------------------------------------------------
+
+// expFixed sets z = a^e for the public exponent e (raw limbs), scanning all
+// 64 nibbles with a 16-entry table. The operation sequence depends only on
+// the exponent, which is a compile-time constant for every caller, so the
+// routine is constant time in a.
+func (z *Element) expFixed(a *Element, e *[4]uint64) *Element {
+	var tbl [16]Element
+	tbl[0] = one
+	tbl[1] = *a
+	for i := 2; i < 16; i++ {
+		tbl[i].Mul(&tbl[i-1], a)
+	}
+	var res Element
+	res = one
+	for n := 63; n >= 0; n-- {
+		if n != 63 {
+			res.Square(&res)
+			res.Square(&res)
+			res.Square(&res)
+			res.Square(&res)
+		}
+		nib := (e[n/16] >> ((n % 16) * 4)) & 0xf
+		// Multiply unconditionally (table[0] is 1) to keep the sequence
+		// independent of the exponent bits — immaterial for our public
+		// exponents, free to keep.
+		res.Mul(&res, &tbl[nib])
+	}
+	return z.Set(&res)
+}
+
+// Inverse sets z = a⁻¹ (Fermat: a^(p−2)) and returns z. Inverse of zero is
+// zero, matching the convention the callers check explicitly. Constant time.
+func (z *Element) Inverse(a *Element) *Element {
+	return z.expFixed(a, &pMinus2)
+}
+
+// Sqrt sets z to a square root of a and reports whether a is a quadratic
+// residue. Since p ≡ 3 (mod 4) the candidate root is a^((p+1)/4); the final
+// verification squaring makes the routine total. z is untouched when a is a
+// non-residue.
+func (z *Element) Sqrt(a *Element) bool {
+	var cand, check Element
+	cand.expFixed(a, &pPlus1Over4)
+	check.Square(&cand)
+	if !check.Equal(a) {
+		return false
+	}
+	z.Set(&cand)
+	return true
+}
+
+// ExpBig sets z = a^k for a non-negative big.Int exponent. NOT constant
+// time; for public exponents only.
+func (z *Element) ExpBig(a *Element, k *big.Int) *Element {
+	var res, base Element
+	res = one
+	base = *a
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		res.Square(&res)
+		if k.Bit(i) == 1 {
+			res.Mul(&res, &base)
+		}
+	}
+	return z.Set(&res)
+}
+
+// ---------------------------------------------------------------------------
+// Conversion shims (NOT constant time)
+// ---------------------------------------------------------------------------
+
+// SetBigInt assigns v mod p to z and returns z.
+func (z *Element) SetBigInt(v *big.Int) *Element {
+	vv := new(big.Int).Mod(v, modulus)
+	*z = Element{}
+	for i, w := range vv.Bits() {
+		z[i] = uint64(w)
+	}
+	return z.toMont()
+}
+
+// BigInt returns the canonical value of z as a fresh big.Int.
+func (z *Element) BigInt() *big.Int {
+	t := *z
+	t.fromMont()
+	var buf [32]byte
+	putBE(&buf, &t)
+	return new(big.Int).SetBytes(buf[:])
+}
+
+// Bytes returns the canonical 32-byte big-endian encoding of z.
+func (z *Element) Bytes() [32]byte {
+	t := *z
+	t.fromMont()
+	var buf [32]byte
+	putBE(&buf, &t)
+	return buf
+}
+
+// SetBytes decodes a canonical 32-byte big-endian encoding, reporting
+// whether the value was in range [0, p). z is zeroed on failure.
+func (z *Element) SetBytes(data []byte) bool {
+	if len(data) != 32 {
+		z.SetZero()
+		return false
+	}
+	var raw Element
+	for i := 0; i < 4; i++ {
+		off := 32 - 8*(i+1)
+		raw[i] = uint64(data[off])<<56 | uint64(data[off+1])<<48 |
+			uint64(data[off+2])<<40 | uint64(data[off+3])<<32 |
+			uint64(data[off+4])<<24 | uint64(data[off+5])<<16 |
+			uint64(data[off+6])<<8 | uint64(data[off+7])
+	}
+	if !smallerThanModulus(&raw) {
+		z.SetZero()
+		return false
+	}
+	*z = raw
+	z.toMont()
+	return true
+}
+
+// smallerThanModulus reports whether the raw limbs encode a value < p.
+func smallerThanModulus(a *Element) bool {
+	var b uint64
+	_, b = bits.Sub64(a[0], q0, 0)
+	_, b = bits.Sub64(a[1], q1, b)
+	_, b = bits.Sub64(a[2], q2, b)
+	_, b = bits.Sub64(a[3], q3, b)
+	return b == 1
+}
+
+// Cmp compares the canonical values of z and a, returning -1, 0 or 1. Used
+// by the lexicographic sign convention of the compressed encodings; not
+// constant time.
+func (z *Element) Cmp(a *Element) int {
+	zt, at := *z, *a
+	zt.fromMont()
+	at.fromMont()
+	for i := 3; i >= 0; i-- {
+		if zt[i] != at[i] {
+			if zt[i] > at[i] {
+				return 1
+			}
+			return -1
+		}
+	}
+	return 0
+}
+
+// LexLarger reports whether z > p − z, the "lexicographically larger" root
+// convention of the compressed point encodings.
+func (z *Element) LexLarger() bool {
+	var neg Element
+	neg.Neg(z)
+	return z.Cmp(&neg) > 0
+}
+
+func putBE(buf *[32]byte, t *Element) {
+	for i := 0; i < 4; i++ {
+		off := 32 - 8*(i+1)
+		v := t[i]
+		buf[off] = byte(v >> 56)
+		buf[off+1] = byte(v >> 48)
+		buf[off+2] = byte(v >> 40)
+		buf[off+3] = byte(v >> 32)
+		buf[off+4] = byte(v >> 24)
+		buf[off+5] = byte(v >> 16)
+		buf[off+6] = byte(v >> 8)
+		buf[off+7] = byte(v)
+	}
+}
+
+// String formats the canonical value in decimal, for debugging.
+func (z *Element) String() string {
+	return fmt.Sprintf("%d", z.BigInt())
+}

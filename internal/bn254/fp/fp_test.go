@@ -1,0 +1,345 @@
+package fp
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// ref reduces a big.Int into [0, p) — the reference arithmetic every limb
+// operation is checked against.
+func ref(x *big.Int) *big.Int { return new(big.Int).Mod(x, modulus) }
+
+func randBig(r *rand.Rand) *big.Int {
+	return new(big.Int).Rand(r, modulus)
+}
+
+func fromBig(t *testing.T, v *big.Int) *Element {
+	t.Helper()
+	var e Element
+	e.SetBigInt(v)
+	return &e
+}
+
+// edgeCases are the values most likely to trip carry/borrow handling.
+func edgeCases() []*big.Int {
+	pm1 := new(big.Int).Sub(modulus, big.NewInt(1))
+	pm2 := new(big.Int).Sub(modulus, big.NewInt(2))
+	half := new(big.Int).Rsh(modulus, 1)
+	return []*big.Int{
+		big.NewInt(0), big.NewInt(1), big.NewInt(2),
+		new(big.Int).SetUint64(^uint64(0)),
+		new(big.Int).Lsh(big.NewInt(1), 64),
+		new(big.Int).Lsh(big.NewInt(1), 128),
+		new(big.Int).Lsh(big.NewInt(1), 192),
+		half, pm2, pm1,
+	}
+}
+
+func testPairs(r *rand.Rand) [][2]*big.Int {
+	var out [][2]*big.Int
+	edges := edgeCases()
+	for _, a := range edges {
+		for _, b := range edges {
+			out = append(out, [2]*big.Int{a, b})
+		}
+	}
+	for i := 0; i < 200; i++ {
+		out = append(out, [2]*big.Int{randBig(r), randBig(r)})
+	}
+	return out
+}
+
+func TestRoundTripBigInt(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, v := range append(edgeCases(), randBig(r), randBig(r)) {
+		e := fromBig(t, v)
+		if got := e.BigInt(); got.Cmp(ref(v)) != 0 {
+			t.Fatalf("round trip %v: got %v", v, got)
+		}
+	}
+}
+
+func TestBinaryOpsVsBig(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, pair := range testPairs(r) {
+		a, b := pair[0], pair[1]
+		ea, eb := fromBig(t, a), fromBig(t, b)
+
+		var sum, diff, prod Element
+		sum.Add(ea, eb)
+		diff.Sub(ea, eb)
+		prod.Mul(ea, eb)
+
+		if got, want := sum.BigInt(), ref(new(big.Int).Add(a, b)); got.Cmp(want) != 0 {
+			t.Fatalf("add(%v,%v) = %v, want %v", a, b, got, want)
+		}
+		if got, want := diff.BigInt(), ref(new(big.Int).Sub(a, b)); got.Cmp(want) != 0 {
+			t.Fatalf("sub(%v,%v) = %v, want %v", a, b, got, want)
+		}
+		if got, want := prod.BigInt(), ref(new(big.Int).Mul(a, b)); got.Cmp(want) != 0 {
+			t.Fatalf("mul(%v,%v) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+func TestUnaryOpsVsBig(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	vals := edgeCases()
+	for i := 0; i < 100; i++ {
+		vals = append(vals, randBig(r))
+	}
+	for _, v := range vals {
+		e := fromBig(t, v)
+		var neg, dbl, sq Element
+		neg.Neg(e)
+		dbl.Double(e)
+		sq.Square(e)
+		if got, want := neg.BigInt(), ref(new(big.Int).Neg(v)); got.Cmp(want) != 0 {
+			t.Fatalf("neg(%v) = %v, want %v", v, got, want)
+		}
+		if got, want := dbl.BigInt(), ref(new(big.Int).Lsh(ref(v), 1)); got.Cmp(want) != 0 {
+			t.Fatalf("double(%v) = %v, want %v", v, got, want)
+		}
+		if got, want := sq.BigInt(), ref(new(big.Int).Mul(v, v)); got.Cmp(want) != 0 {
+			t.Fatalf("square(%v) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestInverseVsBig(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	vals := []*big.Int{big.NewInt(1), big.NewInt(2), new(big.Int).Sub(modulus, big.NewInt(1))}
+	for i := 0; i < 50; i++ {
+		vals = append(vals, randBig(r))
+	}
+	for _, v := range vals {
+		if v.Sign() == 0 {
+			continue
+		}
+		e := fromBig(t, v)
+		var inv Element
+		inv.Inverse(e)
+		want := new(big.Int).ModInverse(ref(v), modulus)
+		if got := inv.BigInt(); got.Cmp(want) != 0 {
+			t.Fatalf("inv(%v) = %v, want %v", v, got, want)
+		}
+		var prod Element
+		prod.Mul(e, &inv)
+		if !prod.IsOne() {
+			t.Fatalf("a·a⁻¹ != 1 for %v", v)
+		}
+	}
+}
+
+func TestInverseZeroIsZero(t *testing.T) {
+	var z, zero Element
+	z.SetOne()
+	z.Inverse(&zero)
+	if !z.IsZero() {
+		t.Fatal("Inverse(0) != 0")
+	}
+}
+
+func TestSqrt(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		v := randBig(r)
+		e := fromBig(t, v)
+		var sq, root, check Element
+		sq.Square(e)
+		if !root.Sqrt(&sq) {
+			t.Fatalf("square of %v rejected by Sqrt", v)
+		}
+		check.Square(&root)
+		if !check.Equal(&sq) {
+			t.Fatalf("Sqrt returned non-root for %v", v)
+		}
+	}
+	// Half the nonzero elements are non-residues; find one.
+	found := false
+	for i := 0; i < 64 && !found; i++ {
+		e := fromBig(t, randBig(r))
+		if e.IsZero() {
+			continue
+		}
+		var root Element
+		if !root.Sqrt(e) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no quadratic non-residue found in 64 samples")
+	}
+	var zero, z Element
+	if !z.Sqrt(&zero) || !z.IsZero() {
+		t.Fatal("Sqrt(0) != 0")
+	}
+}
+
+func TestExpBigMatchesBig(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 20; i++ {
+		v := randBig(r)
+		k := randBig(r)
+		e := fromBig(t, v)
+		var out Element
+		out.ExpBig(e, k)
+		want := new(big.Int).Exp(ref(v), k, modulus)
+		if got := out.BigInt(); got.Cmp(want) != 0 {
+			t.Fatalf("exp mismatch for %v^%v", v, k)
+		}
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	vals := edgeCases()
+	for i := 0; i < 50; i++ {
+		vals = append(vals, randBig(r))
+	}
+	for _, v := range vals {
+		e := fromBig(t, v)
+		buf := e.Bytes()
+		var back Element
+		if !back.SetBytes(buf[:]) {
+			t.Fatalf("canonical bytes rejected for %v", v)
+		}
+		if !back.Equal(e) {
+			t.Fatalf("bytes round trip mismatch for %v", v)
+		}
+	}
+	// Non-canonical encodings must be rejected.
+	var bad Element
+	pBytes := make([]byte, 32)
+	modulus.FillBytes(pBytes)
+	if bad.SetBytes(pBytes) {
+		t.Fatal("accepted p as an encoding")
+	}
+	allFF := make([]byte, 32)
+	for i := range allFF {
+		allFF[i] = 0xff
+	}
+	if bad.SetBytes(allFF) {
+		t.Fatal("accepted 2^256-1 as an encoding")
+	}
+	if bad.SetBytes([]byte{1, 2, 3}) {
+		t.Fatal("accepted short encoding")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	a := fromBig(t, randBig(r))
+	b := fromBig(t, randBig(r))
+	var z Element
+	z.Select(1, a, b)
+	if !z.Equal(a) {
+		t.Fatal("Select(1) != a")
+	}
+	z.Select(0, a, b)
+	if !z.Equal(b) {
+		t.Fatal("Select(0) != b")
+	}
+}
+
+func TestCmpAndLexLarger(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		a, b := randBig(r), randBig(r)
+		ea, eb := fromBig(t, a), fromBig(t, b)
+		if got, want := ea.Cmp(eb), a.Cmp(b); got != want {
+			t.Fatalf("Cmp(%v,%v) = %d, want %d", a, b, got, want)
+		}
+		neg := new(big.Int).Sub(modulus, a)
+		neg.Mod(neg, modulus)
+		if got, want := ea.LexLarger(), a.Cmp(neg) > 0; got != want {
+			t.Fatalf("LexLarger(%v) = %v, want %v", a, got, want)
+		}
+	}
+}
+
+func TestSetUint64(t *testing.T) {
+	for _, v := range []uint64{0, 1, 3, 9, ^uint64(0)} {
+		var e Element
+		e.SetUint64(v)
+		if e.BigInt().Cmp(ref(new(big.Int).SetUint64(v))) != 0 {
+			t.Fatalf("SetUint64(%d) mismatch", v)
+		}
+	}
+}
+
+func TestAliasing(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	a, b := randBig(r), randBig(r)
+	// z aliased with both operands.
+	e := fromBig(t, a)
+	f := fromBig(t, b)
+	e.Mul(e, f)
+	if e.BigInt().Cmp(ref(new(big.Int).Mul(a, b))) != 0 {
+		t.Fatal("aliased Mul mismatch")
+	}
+	g := fromBig(t, a)
+	g.Mul(g, g)
+	if g.BigInt().Cmp(ref(new(big.Int).Mul(a, a))) != 0 {
+		t.Fatal("self-aliased Mul mismatch")
+	}
+	h := fromBig(t, a)
+	h.Add(h, h)
+	if h.BigInt().Cmp(ref(new(big.Int).Lsh(a, 1))) != 0 {
+		t.Fatal("self-aliased Add mismatch")
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	r := rand.New(rand.NewSource(20))
+	var x, y, z Element
+	x.SetBigInt(randBig(r))
+	y.SetBigInt(randBig(r))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Mul(&x, &y)
+	}
+}
+
+func BenchmarkSquare(b *testing.B) {
+	r := rand.New(rand.NewSource(21))
+	var x, z Element
+	x.SetBigInt(randBig(r))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Square(&x)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	r := rand.New(rand.NewSource(22))
+	var x, y, z Element
+	x.SetBigInt(randBig(r))
+	y.SetBigInt(randBig(r))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Add(&x, &y)
+	}
+}
+
+func BenchmarkInverse(b *testing.B) {
+	r := rand.New(rand.NewSource(23))
+	var x, z Element
+	x.SetBigInt(randBig(r))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Inverse(&x)
+	}
+}
+
+func BenchmarkSqrt(b *testing.B) {
+	r := rand.New(rand.NewSource(24))
+	var x, sq, z Element
+	x.SetBigInt(randBig(r))
+	sq.Square(&x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Sqrt(&sq)
+	}
+}

@@ -3,69 +3,65 @@ package bn254
 import (
 	"fmt"
 	"math/big"
+
+	"typepre/internal/bn254/fp"
 )
 
-// fp2 is an element of Fp2 = Fp[i]/(i²+1), stored as c0 + c1·i.
-// The zero value is the field's zero element.
+// fp2 is an element of Fp2 = Fp[i]/(i²+1), stored as c0 + c1·i on limb-based
+// base-field elements. The zero value is the field's zero element.
 type fp2 struct {
-	c0, c1 big.Int
+	c0, c1 fp.Element
 }
 
 func (e *fp2) String() string {
-	return fmt.Sprintf("(%s + %s·i)", fpString(&e.c0), fpString(&e.c1))
+	return fmt.Sprintf("(%s + %s·i)", e.c0.String(), e.c1.String())
 }
 
 // Set assigns a to e and returns e.
 func (e *fp2) Set(a *fp2) *fp2 {
-	e.c0.Set(&a.c0)
-	e.c1.Set(&a.c1)
+	*e = *a
 	return e
 }
 
 // SetZero assigns 0 to e and returns e.
 func (e *fp2) SetZero() *fp2 {
-	e.c0.SetInt64(0)
-	e.c1.SetInt64(0)
+	*e = fp2{}
 	return e
 }
 
 // SetOne assigns 1 to e and returns e.
 func (e *fp2) SetOne() *fp2 {
-	e.c0.SetInt64(1)
-	e.c1.SetInt64(0)
+	e.c0.SetOne()
+	e.c1.SetZero()
 	return e
 }
 
 // SetInts assigns c0 + c1·i (reduced mod p) to e and returns e.
 func (e *fp2) SetInts(c0, c1 *big.Int) *fp2 {
-	e.c0.Set(c0)
-	e.c1.Set(c1)
-	modP(&e.c0)
-	modP(&e.c1)
+	e.c0.SetBigInt(c0)
+	e.c1.SetBigInt(c1)
 	return e
 }
 
 // IsZero reports whether e == 0.
 func (e *fp2) IsZero() bool {
-	return e.c0.Sign() == 0 && e.c1.Sign() == 0
+	return e.c0.IsZero() && e.c1.IsZero()
 }
 
 // IsOne reports whether e == 1.
 func (e *fp2) IsOne() bool {
-	return e.c0.Cmp(bigOne) == 0 && e.c1.Sign() == 0
+	return e.c0.IsOne() && e.c1.IsZero()
 }
 
 // Equal reports whether e == a.
 func (e *fp2) Equal(a *fp2) bool {
-	return e.c0.Cmp(&a.c0) == 0 && e.c1.Cmp(&a.c1) == 0
+	return e.c0.Equal(&a.c0) && e.c1.Equal(&a.c1)
 }
 
 // Add sets e = a + b and returns e.
 func (e *fp2) Add(a, b *fp2) *fp2 {
 	e.c0.Add(&a.c0, &b.c0)
 	e.c1.Add(&a.c1, &b.c1)
-	modP(&e.c0)
-	modP(&e.c1)
 	return e
 }
 
@@ -73,8 +69,6 @@ func (e *fp2) Add(a, b *fp2) *fp2 {
 func (e *fp2) Sub(a, b *fp2) *fp2 {
 	e.c0.Sub(&a.c0, &b.c0)
 	e.c1.Sub(&a.c1, &b.c1)
-	modP(&e.c0)
-	modP(&e.c1)
 	return e
 }
 
@@ -82,57 +76,50 @@ func (e *fp2) Sub(a, b *fp2) *fp2 {
 func (e *fp2) Neg(a *fp2) *fp2 {
 	e.c0.Neg(&a.c0)
 	e.c1.Neg(&a.c1)
-	modP(&e.c0)
-	modP(&e.c1)
 	return e
 }
 
 // Double sets e = 2a and returns e.
 func (e *fp2) Double(a *fp2) *fp2 {
-	e.c0.Lsh(&a.c0, 1)
-	e.c1.Lsh(&a.c1, 1)
-	modP(&e.c0)
-	modP(&e.c1)
+	e.c0.Double(&a.c0)
+	e.c1.Double(&a.c1)
 	return e
 }
 
 // Mul sets e = a·b and returns e. Aliasing of e with a or b is allowed.
 func (e *fp2) Mul(a, b *fp2) *fp2 {
-	// (a0 + a1·i)(b0 + b1·i) = (a0b0 - a1b1) + (a0b1 + a1b0)·i
-	var t0, t1, t2, t3 big.Int
-	t0.Mul(&a.c0, &b.c0)
-	t1.Mul(&a.c1, &b.c1)
-	t2.Mul(&a.c0, &b.c1)
-	t3.Mul(&a.c1, &b.c0)
-	e.c0.Sub(&t0, &t1)
-	e.c1.Add(&t2, &t3)
-	modP(&e.c0)
-	modP(&e.c1)
+	// Karatsuba over i² = −1: with v0 = a0b0 and v1 = a1b1,
+	//   c0 = v0 − v1
+	//   c1 = (a0+a1)(b0+b1) − v0 − v1
+	// Three base-field multiplications instead of four.
+	var v0, v1, s, t fp.Element
+	v0.Mul(&a.c0, &b.c0)
+	v1.Mul(&a.c1, &b.c1)
+	s.Add(&a.c0, &a.c1)
+	t.Add(&b.c0, &b.c1)
+	s.Mul(&s, &t)
+	e.c0.Sub(&v0, &v1)
+	s.Sub(&s, &v0)
+	e.c1.Sub(&s, &v1)
 	return e
 }
 
 // MulScalar sets e = a·s where s is a base-field scalar, and returns e.
-func (e *fp2) MulScalar(a *fp2, s *big.Int) *fp2 {
+func (e *fp2) MulScalar(a *fp2, s *fp.Element) *fp2 {
 	e.c0.Mul(&a.c0, s)
 	e.c1.Mul(&a.c1, s)
-	modP(&e.c0)
-	modP(&e.c1)
 	return e
 }
 
 // Square sets e = a² and returns e.
 func (e *fp2) Square(a *fp2) *fp2 {
-	// (a0 + a1·i)² = (a0-a1)(a0+a1) + 2a0a1·i
-	var t0, t1, t2 big.Int
+	// (a0 + a1·i)² = (a0−a1)(a0+a1) + 2a0a1·i — two multiplications.
+	var t0, t1, m fp.Element
 	t0.Sub(&a.c0, &a.c1)
 	t1.Add(&a.c0, &a.c1)
-	t2.Mul(&t0, &t1)
-	t0.Mul(&a.c0, &a.c1)
-	t0.Lsh(&t0, 1)
-	e.c0.Set(&t2)
-	e.c1.Set(&t0)
-	modP(&e.c0)
-	modP(&e.c1)
+	m.Mul(&a.c0, &a.c1)
+	e.c0.Mul(&t0, &t1)
+	e.c1.Double(&m)
 	return e
 }
 
@@ -141,7 +128,6 @@ func (e *fp2) Square(a *fp2) *fp2 {
 func (e *fp2) Conjugate(a *fp2) *fp2 {
 	e.c0.Set(&a.c0)
 	e.c1.Neg(&a.c1)
-	modP(&e.c1)
 	return e
 }
 
@@ -150,24 +136,23 @@ func (e *fp2) Conjugate(a *fp2) *fp2 {
 // never invert zero for valid group inputs).
 func (e *fp2) Inverse(a *fp2) *fp2 {
 	// (a0 + a1·i)⁻¹ = (a0 - a1·i) / (a0² + a1²)
-	var t0, t1 big.Int
-	t0.Mul(&a.c0, &a.c0)
-	t1.Mul(&a.c1, &a.c1)
+	var t0, t1 fp.Element
+	t0.Square(&a.c0)
+	t1.Square(&a.c1)
 	t0.Add(&t0, &t1)
-	modP(&t0)
-	if t0.Sign() == 0 {
+	if t0.IsZero() {
 		panic("bn254: inversion of zero fp2 element")
 	}
-	t0.ModInverse(&t0, P)
+	t0.Inverse(&t0)
 	e.c0.Mul(&a.c0, &t0)
 	t1.Neg(&a.c1)
 	e.c1.Mul(&t1, &t0)
-	modP(&e.c0)
-	modP(&e.c1)
 	return e
 }
 
-// Exp sets e = a^k for a non-negative exponent k and returns e.
+// Exp sets e = a^k for a non-negative exponent k and returns e. Variable
+// time; used only with public exponents (Frobenius constant derivation, the
+// Fp2 square-root chain).
 func (e *fp2) Exp(a *fp2, k *big.Int) *fp2 {
 	var res, base fp2
 	res.SetOne()
@@ -180,5 +165,3 @@ func (e *fp2) Exp(a *fp2, k *big.Int) *fp2 {
 	}
 	return e.Set(&res)
 }
-
-var bigOne = big.NewInt(1)

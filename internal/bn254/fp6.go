@@ -2,7 +2,8 @@ package bn254
 
 import (
 	"fmt"
-	"math/big"
+
+	"typepre/internal/bn254/fp"
 )
 
 // fp6 is an element of Fp6 = Fp2[τ]/(τ³−ξ), stored as c0 + c1·τ + c2·τ²
@@ -17,17 +18,13 @@ func (e *fp6) String() string {
 
 // Set assigns a to e and returns e.
 func (e *fp6) Set(a *fp6) *fp6 {
-	e.c0.Set(&a.c0)
-	e.c1.Set(&a.c1)
-	e.c2.Set(&a.c2)
+	*e = *a
 	return e
 }
 
 // SetZero assigns 0 to e and returns e.
 func (e *fp6) SetZero() *fp6 {
-	e.c0.SetZero()
-	e.c1.SetZero()
-	e.c2.SetZero()
+	*e = fp6{}
 	return e
 }
 
@@ -70,6 +67,14 @@ func (e *fp6) Sub(a, b *fp6) *fp6 {
 	return e
 }
 
+// Double sets e = 2a and returns e.
+func (e *fp6) Double(a *fp6) *fp6 {
+	e.c0.Double(&a.c0)
+	e.c1.Double(&a.c1)
+	e.c2.Double(&a.c2)
+	return e
+}
+
 // Neg sets e = -a and returns e.
 func (e *fp6) Neg(a *fp6) *fp6 {
 	e.c0.Neg(&a.c0)
@@ -81,48 +86,57 @@ func (e *fp6) Neg(a *fp6) *fp6 {
 // mulByXi sets e = a·ξ for a ∈ Fp2 viewed in Fp6, in place helper on fp2.
 func mulByXi(e, a *fp2) *fp2 {
 	// (c0 + c1·i)(9 + i) = (9c0 - c1) + (9c1 + c0)·i
-	var t0, t1 big.Int
-	t0.Lsh(&a.c0, 3)
+	var t0, t1 fp.Element
+	t0.Double(&a.c0)
+	t0.Double(&t0)
+	t0.Double(&t0)
 	t0.Add(&t0, &a.c0) // 9c0
 	t0.Sub(&t0, &a.c1)
-	t1.Lsh(&a.c1, 3)
+	t1.Double(&a.c1)
+	t1.Double(&t1)
+	t1.Double(&t1)
 	t1.Add(&t1, &a.c1) // 9c1
 	t1.Add(&t1, &a.c0)
 	e.c0.Set(&t0)
 	e.c1.Set(&t1)
-	modP(&e.c0)
-	modP(&e.c1)
 	return e
 }
 
 // Mul sets e = a·b and returns e. Aliasing is allowed.
 func (e *fp6) Mul(a, b *fp6) *fp6 {
-	// Schoolbook with τ³ = ξ:
-	//   z0 = a0b0 + ξ(a1b2 + a2b1)
-	//   z1 = a0b1 + a1b0 + ξ a2b2
-	//   z2 = a0b2 + a1b1 + a2b0
-	var v00, v01, v02, v10, v11, v12, v20, v21, v22 fp2
-	v00.Mul(&a.c0, &b.c0)
-	v01.Mul(&a.c0, &b.c1)
-	v02.Mul(&a.c0, &b.c2)
-	v10.Mul(&a.c1, &b.c0)
-	v11.Mul(&a.c1, &b.c1)
-	v12.Mul(&a.c1, &b.c2)
-	v20.Mul(&a.c2, &b.c0)
-	v21.Mul(&a.c2, &b.c1)
-	v22.Mul(&a.c2, &b.c2)
+	// Karatsuba interpolation with τ³ = ξ (Devegili et al., Alg. 13):
+	// with v0 = a0b0, v1 = a1b1, v2 = a2b2,
+	//   z0 = v0 + ξ((a1+a2)(b1+b2) − v1 − v2)
+	//   z1 = (a0+a1)(b0+b1) − v0 − v1 + ξ v2
+	//   z2 = (a0+a2)(b0+b2) − v0 − v2 + v1
+	// Six fp2 multiplications instead of the schoolbook nine.
+	var v0, v1, v2, s, t, z0, z1, z2 fp2
+	v0.Mul(&a.c0, &b.c0)
+	v1.Mul(&a.c1, &b.c1)
+	v2.Mul(&a.c2, &b.c2)
 
-	var z0, z1, z2, t fp2
-	t.Add(&v12, &v21)
-	mulByXi(&t, &t)
-	z0.Add(&v00, &t)
+	s.Add(&a.c1, &a.c2)
+	t.Add(&b.c1, &b.c2)
+	s.Mul(&s, &t)
+	s.Sub(&s, &v1)
+	s.Sub(&s, &v2)
+	mulByXi(&s, &s)
+	z0.Add(&v0, &s)
 
-	mulByXi(&t, &v22)
-	z1.Add(&v01, &v10)
-	z1.Add(&z1, &t)
+	s.Add(&a.c0, &a.c1)
+	t.Add(&b.c0, &b.c1)
+	s.Mul(&s, &t)
+	s.Sub(&s, &v0)
+	s.Sub(&s, &v1)
+	mulByXi(&t, &v2)
+	z1.Add(&s, &t)
 
-	z2.Add(&v02, &v11)
-	z2.Add(&z2, &v20)
+	s.Add(&a.c0, &a.c2)
+	t.Add(&b.c0, &b.c2)
+	s.Mul(&s, &t)
+	s.Sub(&s, &v0)
+	s.Sub(&s, &v2)
+	z2.Add(&s, &v1)
 
 	e.c0.Set(&z0)
 	e.c1.Set(&z1)
@@ -143,9 +157,8 @@ func (e *fp6) MulByFp2(a *fp6, s *fp2) *fp6 {
 	return e
 }
 
-// MulByTau sets e = a·τ = ξc2 + c0·τ + c1·τ² and returns e.
-// Deep copies keep the operation alias-safe (big.Int headers must never be
-// copied shallowly, since Set may reuse a receiver's backing array).
+// MulByTau sets e = a·τ = ξc2 + c0·τ + c1·τ² and returns e. The temporaries
+// keep the rotation alias-safe.
 func (e *fp6) MulByTau(a *fp6) *fp6 {
 	var t0, t1, t2 fp2
 	mulByXi(&t0, &a.c2)

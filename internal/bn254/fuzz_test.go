@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"math/big"
 	"testing"
+
+	"typepre/internal/bn254/fp"
 )
 
 // Fuzz targets for the group decode surfaces. Invariants: no panics, and
@@ -90,6 +92,110 @@ func FuzzHashToG1(f *testing.F) {
 		p := HashToG1(DomainG1, msg)
 		if !p.IsOnCurve() || p.IsInfinity() {
 			t.Fatal("hash produced invalid point")
+		}
+	})
+}
+
+// fpFromFuzz reduces an arbitrary 32-byte chunk into an Fp element and the
+// matching big.Int, so differential targets exercise the full input space
+// rather than only canonical encodings.
+func fpFromFuzz(chunk []byte) (fp.Element, *big.Int) {
+	v := new(big.Int).SetBytes(chunk)
+	v.Mod(v, P)
+	var e fp.Element
+	e.SetBigInt(v)
+	return e, v
+}
+
+// FuzzFpVsBig differentially checks the Montgomery-limb Fp core against
+// math/big on the same inputs: add, sub, neg, mul, square, and inverse must
+// agree, and the byte encoding must round-trip through big.Int.
+func FuzzFpVsBig(f *testing.F) {
+	f.Add(make([]byte, 64))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Add(append(P.Bytes(), P.Bytes()...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 64 {
+			return
+		}
+		a, abig := fpFromFuzz(data[:32])
+		b, bbig := fpFromFuzz(data[32:64])
+
+		check := func(op string, got *fp.Element, want *big.Int) {
+			if got.BigInt().Cmp(want) != 0 {
+				t.Fatalf("%s mismatch: limbs %v, big %v", op, got, want)
+			}
+		}
+		var out fp.Element
+		out.Add(&a, &b)
+		check("add", &out, new(big.Int).Mod(new(big.Int).Add(abig, bbig), P))
+		out.Sub(&a, &b)
+		check("sub", &out, new(big.Int).Mod(new(big.Int).Sub(abig, bbig), P))
+		out.Neg(&a)
+		check("neg", &out, new(big.Int).Mod(new(big.Int).Neg(abig), P))
+		out.Mul(&a, &b)
+		check("mul", &out, new(big.Int).Mod(new(big.Int).Mul(abig, bbig), P))
+		out.Square(&a)
+		check("square", &out, new(big.Int).Mod(new(big.Int).Mul(abig, abig), P))
+		out.Inverse(&a)
+		if abig.Sign() == 0 {
+			check("inverse(0)", &out, new(big.Int))
+		} else {
+			check("inverse", &out, new(big.Int).ModInverse(abig, P))
+		}
+
+		enc := a.Bytes()
+		if new(big.Int).SetBytes(enc[:]).Cmp(abig) != 0 {
+			t.Fatalf("Bytes() != big-endian value: % x vs %v", enc, abig)
+		}
+	})
+}
+
+// FuzzFp2VsBig differentially checks the Fp2 tower layer (Karatsuba mul,
+// square, inverse) against schoolbook formulas evaluated with math/big over
+// Fp[i]/(i²+1).
+func FuzzFp2VsBig(f *testing.F) {
+	f.Add(make([]byte, 128))
+	f.Add(bytes.Repeat([]byte{0xa5}, 128))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 128 {
+			return
+		}
+		var a, b fp2
+		var a0, a1, b0, b1 *big.Int
+		a.c0, a0 = fpFromFuzz(data[:32])
+		a.c1, a1 = fpFromFuzz(data[32:64])
+		b.c0, b0 = fpFromFuzz(data[64:96])
+		b.c1, b1 = fpFromFuzz(data[96:128])
+
+		check := func(op string, got *fp2, want0, want1 *big.Int) {
+			g0 := got.c0.BigInt()
+			g1 := got.c1.BigInt()
+			if g0.Cmp(want0) != 0 || g1.Cmp(want1) != 0 {
+				t.Fatalf("%s mismatch: limbs (%v, %v), big (%v, %v)", op, g0, g1, want0, want1)
+			}
+		}
+		// (a0 + a1·i)(b0 + b1·i) = (a0b0 − a1b1) + (a0b1 + a1b0)·i
+		mul0 := new(big.Int).Sub(new(big.Int).Mul(a0, b0), new(big.Int).Mul(a1, b1))
+		mul1 := new(big.Int).Add(new(big.Int).Mul(a0, b1), new(big.Int).Mul(a1, b0))
+		var out fp2
+		out.Mul(&a, &b)
+		check("mul", &out, mul0.Mod(mul0, P), mul1.Mod(mul1, P))
+
+		sq0 := new(big.Int).Sub(new(big.Int).Mul(a0, a0), new(big.Int).Mul(a1, a1))
+		sq1 := new(big.Int).Lsh(new(big.Int).Mul(a0, a1), 1)
+		out.Square(&a)
+		check("square", &out, sq0.Mod(sq0, P), sq1.Mod(sq1, P))
+
+		// 1/(a0 + a1·i) = (a0 − a1·i)/(a0² + a1²)
+		norm := new(big.Int).Add(new(big.Int).Mul(a0, a0), new(big.Int).Mul(a1, a1))
+		norm.Mod(norm, P)
+		if norm.Sign() != 0 {
+			normInv := new(big.Int).ModInverse(norm, P)
+			inv0 := new(big.Int).Mul(a0, normInv)
+			inv1 := new(big.Int).Mul(new(big.Int).Neg(a1), normInv)
+			out.Inverse(&a)
+			check("inverse", &out, inv0.Mod(inv0, P), inv1.Mod(inv1, P))
 		}
 	})
 }

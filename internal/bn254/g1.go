@@ -4,13 +4,15 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+
+	"typepre/internal/bn254/fp"
 )
 
 // G1 is a point on E: y² = x³ + 3 over Fp, in affine coordinates, or the
 // point at infinity when inf is set. The group has prime order r and
 // cofactor 1. The zero value is the point at infinity.
 type G1 struct {
-	x, y big.Int
+	x, y fp.Element
 	inf  bool
 }
 
@@ -29,9 +31,7 @@ func G1Infinity() *G1 { return &G1{inf: true} }
 
 // Set assigns a to p and returns p.
 func (p *G1) Set(a *G1) *G1 {
-	p.x.Set(&a.x)
-	p.y.Set(&a.y)
-	p.inf = a.inf
+	*p = *a
 	return p
 }
 
@@ -43,7 +43,7 @@ func (p *G1) Equal(q *G1) bool {
 	if p.inf || q.inf {
 		return p.inf == q.inf
 	}
-	return p.x.Cmp(&q.x) == 0 && p.y.Cmp(&q.y) == 0
+	return p.x.Equal(&q.x) && p.y.Equal(&q.y)
 }
 
 // IsOnCurve reports whether p satisfies the curve equation (infinity counts
@@ -52,14 +52,12 @@ func (p *G1) IsOnCurve() bool {
 	if p.inf {
 		return true
 	}
-	var lhs, rhs big.Int
-	lhs.Mul(&p.y, &p.y)
-	modP(&lhs)
-	rhs.Mul(&p.x, &p.x)
+	var lhs, rhs fp.Element
+	lhs.Square(&p.y)
+	rhs.Square(&p.x)
 	rhs.Mul(&rhs, &p.x)
-	rhs.Add(&rhs, curveB)
-	modP(&rhs)
-	return lhs.Cmp(&rhs) == 0
+	rhs.Add(&rhs, &curveB)
+	return lhs.Equal(&rhs)
 }
 
 // Neg sets p = -a and returns p.
@@ -70,36 +68,32 @@ func (p *G1) Neg(a *G1) *G1 {
 	}
 	p.x.Set(&a.x)
 	p.y.Neg(&a.y)
-	modP(&p.y)
 	p.inf = false
 	return p
 }
 
 // Double sets p = 2a and returns p.
 func (p *G1) Double(a *G1) *G1 {
-	if a.inf || a.y.Sign() == 0 {
+	if a.inf || a.y.IsZero() {
 		p.inf = true
 		return p
 	}
 	// λ = 3x²/(2y); x' = λ² - 2x; y' = λ(x - x') - y
-	var lam, t, x3, y3 big.Int
-	lam.Mul(&a.x, &a.x)
-	lam.Mul(&lam, big.NewInt(3))
-	t.Lsh(&a.y, 1)
-	modP(&t)
-	t.ModInverse(&t, P)
+	var lam, t, x3, y3 fp.Element
+	lam.Square(&a.x)
+	t.Double(&lam)
+	lam.Add(&lam, &t)
+	t.Double(&a.y)
+	t.Inverse(&t)
 	lam.Mul(&lam, &t)
-	modP(&lam)
 
-	x3.Mul(&lam, &lam)
-	t.Lsh(&a.x, 1)
+	x3.Square(&lam)
+	t.Double(&a.x)
 	x3.Sub(&x3, &t)
-	modP(&x3)
 
 	y3.Sub(&a.x, &x3)
 	y3.Mul(&y3, &lam)
 	y3.Sub(&y3, &a.y)
-	modP(&y3)
 
 	p.x.Set(&x3)
 	p.y.Set(&y3)
@@ -115,31 +109,27 @@ func (p *G1) Add(a, b *G1) *G1 {
 	if b.inf {
 		return p.Set(a)
 	}
-	if a.x.Cmp(&b.x) == 0 {
-		if a.y.Cmp(&b.y) == 0 {
+	if a.x.Equal(&b.x) {
+		if a.y.Equal(&b.y) {
 			return p.Double(a)
 		}
 		p.inf = true
 		return p
 	}
 	// λ = (y2-y1)/(x2-x1); x' = λ² - x1 - x2; y' = λ(x1 - x') - y1
-	var lam, t, x3, y3 big.Int
+	var lam, t, x3, y3 fp.Element
 	lam.Sub(&b.y, &a.y)
 	t.Sub(&b.x, &a.x)
-	modP(&t)
-	t.ModInverse(&t, P)
+	t.Inverse(&t)
 	lam.Mul(&lam, &t)
-	modP(&lam)
 
-	x3.Mul(&lam, &lam)
+	x3.Square(&lam)
 	x3.Sub(&x3, &a.x)
 	x3.Sub(&x3, &b.x)
-	modP(&x3)
 
 	y3.Sub(&a.x, &x3)
 	y3.Mul(&y3, &lam)
 	y3.Sub(&y3, &a.y)
-	modP(&y3)
 
 	p.x.Set(&x3)
 	p.y.Set(&y3)
@@ -197,8 +187,10 @@ func (p *G1) Marshal() []byte {
 	if p.inf {
 		return out
 	}
-	p.x.FillBytes(out[:g1ElementSize])
-	p.y.FillBytes(out[g1ElementSize:])
+	xb := p.x.Bytes()
+	yb := p.y.Bytes()
+	copy(out[:g1ElementSize], xb[:])
+	copy(out[g1ElementSize:], yb[:])
 	return out
 }
 
@@ -217,16 +209,14 @@ func (p *G1) Unmarshal(data []byte) error {
 	}
 	if allZero {
 		p.inf = true
-		p.x.SetInt64(0)
-		p.y.SetInt64(0)
+		p.x.SetZero()
+		p.y.SetZero()
 		return nil
 	}
-	p.x.SetBytes(data[:g1ElementSize])
-	p.y.SetBytes(data[g1ElementSize:])
-	p.inf = false
-	if p.x.Cmp(P) >= 0 || p.y.Cmp(P) >= 0 {
+	if !p.x.SetBytes(data[:g1ElementSize]) || !p.y.SetBytes(data[g1ElementSize:]) {
 		return errors.New("bn254: G1 coordinate out of range")
 	}
+	p.inf = false
 	if !p.IsOnCurve() {
 		return errors.New("bn254: G1 point not on curve")
 	}
@@ -237,5 +227,5 @@ func (p *G1) String() string {
 	if p.inf {
 		return "G1(∞)"
 	}
-	return fmt.Sprintf("G1(%s, %s)", fpString(&p.x), fpString(&p.y))
+	return fmt.Sprintf("G1(%s, %s)", p.x.String(), p.y.String())
 }

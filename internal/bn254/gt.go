@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+
+	"typepre/internal/bn254/fp"
 )
 
 // GT is an element of the order-r multiplicative subgroup of Fp12*, the
@@ -77,20 +79,15 @@ const GTSize = 12 * 32
 // (c0.c0.c0, c0.c0.c1, c0.c1.c0, ..., c1.c2.c1), each 32 bytes big-endian.
 func (g *GT) Marshal() []byte {
 	out := make([]byte, 0, GTSize)
-	coeffs := g.coeffs()
-	buf := make([]byte, 32)
-	for _, c := range coeffs {
-		c.FillBytes(buf)
-		out = append(out, buf...)
-		for i := range buf {
-			buf[i] = 0
-		}
+	for _, c := range g.coeffs() {
+		buf := c.Bytes()
+		out = append(out, buf[:]...)
 	}
 	return out
 }
 
-func (g *GT) coeffs() []*big.Int {
-	return []*big.Int{
+func (g *GT) coeffs() []*fp.Element {
+	return []*fp.Element{
 		&g.v.c0.c0.c0, &g.v.c0.c0.c1,
 		&g.v.c0.c1.c0, &g.v.c0.c1.c1,
 		&g.v.c0.c2.c0, &g.v.c0.c2.c1,
@@ -106,10 +103,8 @@ func (g *GT) Unmarshal(data []byte) error {
 	if len(data) != GTSize {
 		return fmt.Errorf("bn254: invalid GT encoding length %d", len(data))
 	}
-	coeffs := g.coeffs()
-	for i, c := range coeffs {
-		c.SetBytes(data[i*32 : (i+1)*32])
-		if c.Cmp(P) >= 0 {
+	for i, c := range g.coeffs() {
+		if !c.SetBytes(data[i*32 : (i+1)*32]) {
 			return errors.New("bn254: GT coefficient out of range")
 		}
 	}

@@ -6,6 +6,8 @@ import (
 	"encoding/binary"
 	"io"
 	"math/big"
+
+	"typepre/internal/bn254/fp"
 )
 
 // Domain-separation tags for the random oracles used by the schemes built
@@ -17,10 +19,6 @@ const (
 	DomainKDF    = "typepre/bn254/gt-kdf/v1"
 	DomainGTMask = "typepre/bn254/gt-mask/v1"
 )
-
-// pPlus1Over4 is (p+1)/4; since p ≡ 3 (mod 4), t^((p+1)/4) is a square root
-// of t whenever t is a quadratic residue.
-var pPlus1Over4 = new(big.Int).Div(new(big.Int).Add(P, big.NewInt(1)), big.NewInt(4))
 
 // HashToG1 hashes an arbitrary message into G1 under the given domain tag
 // using deterministic try-and-increment: candidate x-coordinates are derived
@@ -38,30 +36,27 @@ func HashToG1(domain string, msg []byte) *G1 {
 		h.Write(msg)
 		digest := h.Sum(nil)
 
-		x := new(big.Int).SetBytes(digest)
-		x.Mod(x, P)
+		var x fp.Element
+		x.SetBigInt(new(big.Int).SetBytes(digest))
 
 		// y² = x³ + 3
-		y2 := new(big.Int).Mul(x, x)
-		y2.Mul(y2, x)
-		y2.Add(y2, curveB)
-		y2.Mod(y2, P)
+		var y2 fp.Element
+		y2.Square(&x)
+		y2.Mul(&y2, &x)
+		y2.Add(&y2, &curveB)
 
-		y := new(big.Int).Exp(y2, pPlus1Over4, P)
-		check := new(big.Int).Mul(y, y)
-		check.Mod(check, P)
-		if check.Cmp(y2) != 0 {
+		var y fp.Element
+		if !y.Sqrt(&y2) {
 			continue // not a quadratic residue; try next counter
 		}
 		// Deterministic sign choice from the digest so the map does not
 		// favor one square root.
 		if digest[0]&1 == 1 {
-			y.Sub(P, y)
-			y.Mod(y, P)
+			y.Neg(&y)
 		}
 		var p G1
-		p.x.Set(x)
-		p.y.Set(y)
+		p.x.Set(&x)
+		p.y.Set(&y)
 		p.inf = false
 		return &p
 	}

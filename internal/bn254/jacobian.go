@@ -1,23 +1,28 @@
 package bn254
 
-import "math/big"
+import (
+	"math/big"
+
+	"typepre/internal/bn254/fp"
+)
 
 // Jacobian-coordinate scalar multiplication for G1 and G2. A point
 // (X, Y, Z) represents the affine point (X/Z², Y/Z³); doubling and mixed
-// addition avoid the per-step modular inversion of the affine formulas,
-// which dominates their cost under math/big. ScalarMult uses these paths;
-// the affine ladder is kept as the property-tested reference
-// (scalarMultAffine) and as the E1 ablation.
+// addition avoid the per-step field inversion of the affine formulas, which
+// dominates their cost (a constant-time inversion is hundreds of
+// multiplications). ScalarMult uses these paths; the affine ladder is kept
+// as the property-tested reference (scalarMultAffine) and as the E1
+// ablation.
 
 // g1Jac is a G1 point in Jacobian coordinates; Z=0 encodes infinity.
 type g1Jac struct {
-	x, y, z big.Int
+	x, y, z fp.Element
 }
 
 func (j *g1Jac) setInfinity() {
-	j.x.SetInt64(1)
-	j.y.SetInt64(1)
-	j.z.SetInt64(0)
+	j.x.SetOne()
+	j.y.SetOne()
+	j.z.SetZero()
 }
 
 func (j *g1Jac) fromAffine(p *G1) {
@@ -27,129 +32,106 @@ func (j *g1Jac) fromAffine(p *G1) {
 	}
 	j.x.Set(&p.x)
 	j.y.Set(&p.y)
-	j.z.SetInt64(1)
+	j.z.SetOne()
 }
 
 func (j *g1Jac) toAffine(p *G1) {
-	if j.z.Sign() == 0 {
+	if j.z.IsZero() {
 		p.inf = true
-		p.x.SetInt64(0)
-		p.y.SetInt64(0)
+		p.x.SetZero()
+		p.y.SetZero()
 		return
 	}
-	zInv := new(big.Int).ModInverse(&j.z, P)
-	zInv2 := new(big.Int).Mul(zInv, zInv)
-	zInv2.Mod(zInv2, P)
-	zInv3 := new(big.Int).Mul(zInv2, zInv)
-	zInv3.Mod(zInv3, P)
-	p.x.Mul(&j.x, zInv2)
-	modP(&p.x)
-	p.y.Mul(&j.y, zInv3)
-	modP(&p.y)
+	var zInv, zInv2, zInv3 fp.Element
+	zInv.Inverse(&j.z)
+	zInv2.Square(&zInv)
+	zInv3.Mul(&zInv2, &zInv)
+	p.x.Mul(&j.x, &zInv2)
+	p.y.Mul(&j.y, &zInv3)
 	p.inf = false
 }
 
 // double sets j = 2j (dbl-2009-l formulas, a = 0).
 func (j *g1Jac) double() {
-	if j.z.Sign() == 0 {
+	if j.z.IsZero() {
 		return
 	}
-	var a, b, c, d, e, f, t big.Int
-	a.Mul(&j.x, &j.x)
-	a.Mod(&a, P) // A = X²
-	b.Mul(&j.y, &j.y)
-	b.Mod(&b, P) // B = Y²
-	c.Mul(&b, &b)
-	c.Mod(&c, P) // C = B²
+	var a, b, c, d, e, f, t fp.Element
+	a.Square(&j.x) // A = X²
+	b.Square(&j.y) // B = Y²
+	c.Square(&b)   // C = B²
 	// D = 2((X+B)² − A − C)
 	d.Add(&j.x, &b)
-	d.Mul(&d, &d)
+	d.Square(&d)
 	d.Sub(&d, &a)
 	d.Sub(&d, &c)
-	d.Lsh(&d, 1)
-	d.Mod(&d, P)
+	d.Double(&d)
 	// E = 3A, F = E²
-	e.Lsh(&a, 1)
+	e.Double(&a)
 	e.Add(&e, &a)
-	e.Mod(&e, P)
-	f.Mul(&e, &e)
-	f.Mod(&f, P)
+	f.Square(&e)
 	// Z3 = 2YZ (uses old Y)
-	var z3 big.Int
+	var z3 fp.Element
 	z3.Mul(&j.y, &j.z)
-	z3.Lsh(&z3, 1)
-	z3.Mod(&z3, P)
+	z3.Double(&z3)
 	// X3 = F − 2D
-	t.Lsh(&d, 1)
+	t.Double(&d)
 	j.x.Sub(&f, &t)
-	j.x.Mod(&j.x, P)
 	// Y3 = E(D − X3) − 8C
 	t.Sub(&d, &j.x)
 	t.Mul(&t, &e)
-	c.Lsh(&c, 3)
-	t.Sub(&t, &c)
-	j.y.Mod(&t, P)
+	c.Double(&c)
+	c.Double(&c)
+	c.Double(&c)
+	j.y.Sub(&t, &c)
 	j.z.Set(&z3)
 }
 
 // addMixed sets j = j + q for an affine, non-infinity q
 // (madd-2007-bl formulas).
 func (j *g1Jac) addMixed(q *G1) {
-	if j.z.Sign() == 0 {
+	if j.z.IsZero() {
 		j.fromAffine(q)
 		return
 	}
-	var z1z1, u2, s2, h, hh, i, jj, rr, v, t big.Int
-	z1z1.Mul(&j.z, &j.z)
-	z1z1.Mod(&z1z1, P)
+	var z1z1, u2, s2, h, hh, i, jj, rr, v, t fp.Element
+	z1z1.Square(&j.z)
 	u2.Mul(&q.x, &z1z1)
-	u2.Mod(&u2, P)
 	s2.Mul(&q.y, &j.z)
 	s2.Mul(&s2, &z1z1)
-	s2.Mod(&s2, P)
 	h.Sub(&u2, &j.x)
-	h.Mod(&h, P)
 	rr.Sub(&s2, &j.y)
-	rr.Lsh(&rr, 1)
-	rr.Mod(&rr, P)
-	if h.Sign() == 0 {
-		if rr.Sign() == 0 {
+	rr.Double(&rr)
+	if h.IsZero() {
+		if rr.IsZero() {
 			j.double()
 			return
 		}
 		j.setInfinity()
 		return
 	}
-	hh.Mul(&h, &h)
-	hh.Mod(&hh, P)
-	i.Lsh(&hh, 2)
-	i.Mod(&i, P)
+	hh.Square(&h)
+	i.Double(&hh)
+	i.Double(&i)
 	jj.Mul(&h, &i)
-	jj.Mod(&jj, P)
 	v.Mul(&j.x, &i)
-	v.Mod(&v, P)
+	var x3, y3, z3 fp.Element
 	// X3 = r² − J − 2V
-	var x3 big.Int
-	x3.Mul(&rr, &rr)
+	x3.Square(&rr)
 	x3.Sub(&x3, &jj)
-	t.Lsh(&v, 1)
+	t.Double(&v)
 	x3.Sub(&x3, &t)
-	x3.Mod(&x3, P)
 	// Y3 = r(V − X3) − 2·Y1·J
-	var y3 big.Int
 	y3.Sub(&v, &x3)
 	y3.Mul(&y3, &rr)
 	t.Mul(&j.y, &jj)
-	t.Lsh(&t, 1)
+	t.Double(&t)
 	y3.Sub(&y3, &t)
-	y3.Mod(&y3, P)
 	// Z3 = (Z1 + H)² − Z1Z1 − HH
-	var z3 big.Int
 	z3.Add(&j.z, &h)
-	z3.Mul(&z3, &z3)
+	z3.Square(&z3)
 	z3.Sub(&z3, &z1z1)
 	z3.Sub(&z3, &hh)
-	z3.Mod(&z3, P)
 
 	j.x.Set(&x3)
 	j.y.Set(&y3)
@@ -163,8 +145,8 @@ func scalarMultJacobianG1(p *G1, a *G1, k *big.Int) *G1 {
 	acc.setInfinity()
 	if a.inf || kk.Sign() == 0 {
 		p.inf = true
-		p.x.SetInt64(0)
-		p.y.SetInt64(0)
+		p.x.SetZero()
+		p.y.SetZero()
 		return p
 	}
 	var base G1

@@ -11,28 +11,28 @@ import (
 //
 //	l(P) = y_P − λ'·x_P·ω + (λ'·x_T − y_T)·ω³
 //
-// with slope λ' ∈ Fp2 on the twist, which in the Fp12 = Fp6[ω],
-// Fp6 = Fp2[τ] tower (ω³ = τ·ω) is the sparse element with
-// c0 = (y_P, 0, 0) and c1 = (−λ'x_P, λ'x_T − y_T, 0). Everything except the
-// two P-coordinate multiplications depends only on T and S, so a fixed Q's
-// whole line sequence can be computed once (see PreparedG2) and replayed
-// against many P's.
+// with slope λ' ∈ Fp2 on the twist. To avoid the Fp2 inversion that the
+// affine slope would cost per step, T is tracked in Jacobian coordinates
+// (X, Y, Z) and the line is stored scaled by its denominator d ∈ Fp2*
+// (d = 2YZ³ for tangents, δZ for chords):
+//
+//	d·l(P) = a·y_P + b·x_P·ω + c·ω³
+//
+// In the Fp12 = Fp6[ω], Fp6 = Fp2[τ] tower (ω³ = τ·ω) this is the sparse
+// element with c0 = (a·y_P, 0, 0) and c1 = (b·x_P, c, 0). The scalar d lies
+// in Fp2, where the easy part of the final exponentiation kills it
+// (d^(p⁶−1) = 1 since d^(p²) = d), so Pair's output is unchanged by the
+// scaling. Everything except the two P-coordinate multiplications depends
+// only on T and S, so a fixed Q's whole line sequence can be computed once
+// (see PreparedG2) and replayed against many P's.
 //
 // A vertical line X = x_T·ω² evaluates to l(P) = x_P − x_T·τ, i.e.
-// c0 = (x_P, −x_T, 0), c1 = 0; it stores −x_T in c and leaves lambda unused.
+// c0 = (x_P, −x_T, 0), c1 = 0; it stores −x_T in c and leaves a, b unused.
 type lineCoeff struct {
 	vertical bool
-	lambda   fp2 // slope λ' (non-vertical lines only)
-	c        fp2 // λ'·x_T − y_T, or −x_T for verticals
-}
-
-// setLine fills lc with the coefficients of the non-vertical line of slope
-// lambda through (xT, yT).
-func (lc *lineCoeff) setLine(lambda, xT, yT *fp2) {
-	lc.vertical = false
-	lc.lambda.Set(lambda)
-	lc.c.Mul(lambda, xT)
-	lc.c.Sub(&lc.c, yT)
+	a        fp2 // coefficient of y_P (non-vertical lines only)
+	b        fp2 // coefficient of x_P·ω (non-vertical lines only)
+	c        fp2 // ω³ coefficient, or −x_T for verticals
 }
 
 // setVertical fills lc with the coefficients of the vertical line X = x_T·ω².
@@ -46,99 +46,154 @@ func evalLine(f *fp12, lc *lineCoeff, P *G1) {
 	var l fp12
 	if lc.vertical {
 		l.c0.c0.c0.Set(&P.x)
-		l.c0.c0.c1.SetInt64(0)
+		l.c0.c0.c1.SetZero()
 		l.c0.c1.Set(&lc.c)
 		l.c0.c2.SetZero()
 		l.c1.SetZero()
 	} else {
-		var b fp2
-		b.MulScalar(&lc.lambda, &P.x)
-		b.Neg(&b)
-		l.c0.c0.c0.Set(&P.y)
-		l.c0.c0.c1.SetInt64(0)
+		l.c0.c0.MulScalar(&lc.a, &P.y)
 		l.c0.c1.SetZero()
 		l.c0.c2.SetZero()
-		l.c1.c0.Set(&b)
+		l.c1.c0.MulScalar(&lc.b, &P.x)
 		l.c1.c1.Set(&lc.c)
 		l.c1.c2.SetZero()
 	}
 	f.Mul(f, &l)
 }
 
-// doubleCoeff computes the tangent-line coefficients at T and doubles T in
-// place. It reports false when no line is contributed (T at infinity).
-func doubleCoeff(lc *lineCoeff, T *G2) bool {
-	if T.inf {
+// doubleStep computes the scaled tangent-line coefficients at the Jacobian
+// point T and doubles T in place (dbl-2009-l formulas, a = 0). It reports
+// false when no line is contributed (T at infinity). With T = (X, Y, Z) and
+// M = 3X², the tangent scaled by 2YZ³ is
+//
+//	a = Z₃·Z²  (Z₃ = 2YZ), b = −M·Z², c = M·X − 2Y²
+func doubleStep(lc *lineCoeff, T *g2Jac) bool {
+	if T.z.IsZero() {
 		return false
 	}
 	if T.y.IsZero() {
 		// Tangent at a 2-torsion point is vertical; cannot happen for
 		// points in the order-r subgroup but handled for robustness.
-		lc.setVertical(&T.x)
-		T.inf = true
+		// One inversion on this cold path to recover the affine x.
+		var zz, xAff fp2
+		zz.Square(&T.z)
+		zz.Inverse(&zz)
+		xAff.Mul(&T.x, &zz)
+		lc.setVertical(&xAff)
+		T.setInfinity()
 		return true
 	}
-	var lambda, t fp2
-	lambda.Square(&T.x)
-	var three fp2
-	three.c0.SetInt64(3)
-	lambda.Mul(&lambda, &three)
-	t.Double(&T.y)
-	t.Inverse(&t)
-	lambda.Mul(&lambda, &t)
+	var xx, yy, yyyy, zz, s, m, t fp2
+	xx.Square(&T.x)
+	yy.Square(&T.y)
+	yyyy.Square(&yy)
+	zz.Square(&T.z)
+	// S = 2((X+YY)² − XX − YYYY)
+	s.Add(&T.x, &yy)
+	s.Square(&s)
+	s.Sub(&s, &xx)
+	s.Sub(&s, &yyyy)
+	s.Double(&s)
+	// M = 3XX
+	m.Double(&xx)
+	m.Add(&m, &xx)
+	// Z3 = (Y+Z)² − YY − ZZ  (= 2YZ)
+	var z3 fp2
+	z3.Add(&T.y, &T.z)
+	z3.Square(&z3)
+	z3.Sub(&z3, &yy)
+	z3.Sub(&z3, &zz)
 
-	lc.setLine(&lambda, &T.x, &T.y)
+	lc.vertical = false
+	lc.a.Mul(&z3, &zz)
+	lc.b.Mul(&m, &zz)
+	lc.b.Neg(&lc.b)
+	lc.c.Mul(&m, &T.x)
+	t.Double(&yy)
+	lc.c.Sub(&lc.c, &t)
 
-	// T = 2T using the already computed slope.
+	// X3 = M² − 2S; Y3 = M(S − X3) − 8YYYY
 	var x3, y3 fp2
-	x3.Square(&lambda)
-	t.Double(&T.x)
+	x3.Square(&m)
+	t.Double(&s)
 	x3.Sub(&x3, &t)
-	y3.Sub(&T.x, &x3)
-	y3.Mul(&y3, &lambda)
-	y3.Sub(&y3, &T.y)
+	y3.Sub(&s, &x3)
+	y3.Mul(&y3, &m)
+	t.Double(&yyyy)
+	t.Double(&t)
+	t.Double(&t)
+	y3.Sub(&y3, &t)
 	T.x.Set(&x3)
 	T.y.Set(&y3)
+	T.z.Set(&z3)
 	return true
 }
 
-// addCoeff computes the coefficients of the line through T and Q and sets
-// T = T + Q in place. It reports false when no line is contributed (Q at
-// infinity, or T at infinity so that the step is a plain assignment).
-func addCoeff(lc *lineCoeff, T *G2, Q *G2) bool {
+// addStep computes the scaled coefficients of the line through T and the
+// affine point Q, and sets T = T + Q in place (madd-2007-bl formulas). It
+// reports false when no line is contributed (Q at infinity, or T at
+// infinity so that the step is a plain assignment). With θ = y_Q·Z³ − Y and
+// δ = x_Q·Z² − X, the chord scaled by δZ is
+//
+//	a = δ·Z, b = −θ, c = θ·x_Q − y_Q·a
+func addStep(lc *lineCoeff, T *g2Jac, Q *G2) bool {
 	if Q.inf {
 		return false
 	}
-	if T.inf {
-		T.Set(Q)
+	if T.z.IsZero() {
+		T.fromAffine(Q)
 		return false
 	}
-	if T.x.Equal(&Q.x) {
-		if T.y.Equal(&Q.y) {
-			return doubleCoeff(lc, T)
+	var zz, z3q, theta, delta fp2
+	zz.Square(&T.z)
+	z3q.Mul(&T.z, &zz)
+	theta.Mul(&Q.y, &z3q)
+	theta.Sub(&theta, &T.y)
+	delta.Mul(&Q.x, &zz)
+	delta.Sub(&delta, &T.x)
+	if delta.IsZero() {
+		if theta.IsZero() {
+			return doubleStep(lc, T)
 		}
-		// T + (−T): vertical line.
-		lc.setVertical(&T.x)
-		T.inf = true
+		// T + (−T): vertical line X = x_Q.
+		lc.setVertical(&Q.x)
+		T.setInfinity()
 		return true
 	}
-	var lambda, t fp2
-	lambda.Sub(&Q.y, &T.y)
-	t.Sub(&Q.x, &T.x)
-	t.Inverse(&t)
-	lambda.Mul(&lambda, &t)
 
-	lc.setLine(&lambda, &T.x, &T.y)
+	lc.vertical = false
+	lc.a.Mul(&delta, &T.z)
+	lc.b.Neg(&theta)
+	var t fp2
+	lc.c.Mul(&theta, &Q.x)
+	t.Mul(&Q.y, &lc.a)
+	lc.c.Sub(&lc.c, &t)
 
-	var x3, y3 fp2
-	x3.Square(&lambda)
-	x3.Sub(&x3, &T.x)
-	x3.Sub(&x3, &Q.x)
-	y3.Sub(&T.x, &x3)
-	y3.Mul(&y3, &lambda)
-	y3.Sub(&y3, &T.y)
+	// Point update with H = δ and r = 2θ.
+	var hh, i, jj, v, rr fp2
+	rr.Double(&theta)
+	hh.Square(&delta)
+	i.Double(&hh)
+	i.Double(&i)
+	jj.Mul(&delta, &i)
+	v.Mul(&T.x, &i)
+	var x3, y3, z3 fp2
+	x3.Square(&rr)
+	x3.Sub(&x3, &jj)
+	t.Double(&v)
+	x3.Sub(&x3, &t)
+	y3.Sub(&v, &x3)
+	y3.Mul(&y3, &rr)
+	t.Mul(&T.y, &jj)
+	t.Double(&t)
+	y3.Sub(&y3, &t)
+	z3.Add(&T.z, &delta)
+	z3.Square(&z3)
+	z3.Sub(&z3, &zz)
+	z3.Sub(&z3, &hh)
 	T.x.Set(&x3)
 	T.y.Set(&y3)
+	T.z.Set(&z3)
 	return true
 }
 
@@ -150,16 +205,16 @@ func addCoeff(lc *lineCoeff, T *G2, Q *G2) bool {
 // shared by the direct evaluation (millerLoop) and the coefficient
 // recording (PrepareG2), so the skeleton cannot diverge between them.
 func ateLoop(Q *G2, emit func(square bool, lc *lineCoeff)) {
-	var T G2
-	T.Set(Q)
+	var T g2Jac
+	T.fromAffine(Q)
 	var lc lineCoeff
 	for i := ateLoopCount.BitLen() - 2; i >= 0; i-- {
 		emit(true, nil)
-		if doubleCoeff(&lc, &T) {
+		if doubleStep(&lc, &T) {
 			emit(false, &lc)
 		}
 		if ateLoopCount.Bit(i) == 1 {
-			if addCoeff(&lc, &T, Q) {
+			if addStep(&lc, &T, Q) {
 				emit(false, &lc)
 			}
 		}
@@ -172,10 +227,10 @@ func ateLoop(Q *G2, emit func(square bool, lc *lineCoeff)) {
 	Q2.frobeniusTwist(&Q1)
 	minusQ2.Neg(&Q2)
 
-	if addCoeff(&lc, &T, &Q1) {
+	if addStep(&lc, &T, &Q1) {
 		emit(false, &lc)
 	}
-	if addCoeff(&lc, &T, &minusQ2) {
+	if addStep(&lc, &T, &minusQ2) {
 		emit(false, &lc)
 	}
 }

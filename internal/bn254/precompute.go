@@ -38,15 +38,11 @@ type PreparedG2 struct {
 	ops []millerOp
 }
 
-// appendLine deep-copies lc into a new op. A plain struct copy would share
-// the big.Int backing arrays inside the fp2 fields, which the caller's next
-// doubleCoeff/addCoeff invocation overwrites in place.
+// appendLine copies lc into a new op. Field elements are plain limb arrays,
+// so a struct copy fully detaches the recorded line from the caller's
+// scratch, which the next doubleCoeff/addCoeff invocation overwrites.
 func (prep *PreparedG2) appendLine(lc *lineCoeff) {
-	var op millerOp
-	op.line.vertical = lc.vertical
-	op.line.lambda.Set(&lc.lambda)
-	op.line.c.Set(&lc.c)
-	prep.ops = append(prep.ops, op)
+	prep.ops = append(prep.ops, millerOp{line: *lc})
 }
 
 // PrepareG2 walks the optimal ate Miller loop for Q once, recording every
@@ -197,9 +193,10 @@ func (t *g1FixedTable) mul(p *G1, k *big.Int) *G1 {
 	return p
 }
 
-// g2FixedTable is the G2 analogue of g1FixedTable. Accumulation is affine:
-// as with the ladders (see G2.ScalarMult), affine addition measures faster
-// than Jacobian for Fp2 coordinates under math/big.
+// g2FixedTable is the G2 analogue of g1FixedTable. Accumulation is mixed
+// Jacobian like G1: with limb-based field arithmetic an Fp2 inversion costs
+// hundreds of multiplications, so one inversion at the end beats one per
+// window (the reverse of the old math/big trade-off; see G2.ScalarMult).
 type g2FixedTable struct {
 	tab [fixedBaseWindows][fixedBaseEntries]G2
 }
@@ -222,14 +219,15 @@ func buildG2FixedTable(base *G2) *g2FixedTable {
 
 func (t *g2FixedTable) mul(p *G2, k *big.Int) *G2 {
 	kk := new(big.Int).Mod(k, Order)
-	var acc G2
-	acc.inf = true
+	var acc g2Jac
+	acc.setInfinity()
 	for w := 0; w < fixedBaseWindows; w++ {
 		if v := windowValue(kk, w); v != 0 {
-			acc.Add(&acc, &t.tab[w][v-1])
+			acc.addMixed(&t.tab[w][v-1])
 		}
 	}
-	return p.Set(&acc)
+	acc.toAffine(p)
+	return p
 }
 
 // gtFixedTable holds tab[w][v-1] = B^(v·2^(4w)) for the fixed GT base.

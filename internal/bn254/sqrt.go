@@ -1,21 +1,13 @@
 package bn254
 
-import "math/big"
+import (
+	"math/big"
 
-// Square roots in Fp and Fp2, used by the compressed point encodings and by
-// hash-to-curve. Both exploit p ≡ 3 (mod 4).
+	"typepre/internal/bn254/fp"
+)
 
-// fpSqrt computes a square root of a in Fp, reporting whether one exists.
-func fpSqrt(a *big.Int) (*big.Int, bool) {
-	y := new(big.Int).Exp(a, pPlus1Over4, P)
-	check := new(big.Int).Mul(y, y)
-	check.Mod(check, P)
-	aa := new(big.Int).Mod(a, P)
-	if check.Cmp(aa) != 0 {
-		return nil, false
-	}
-	return y, true
-}
+// Square roots in Fp2, used by the compressed point encodings. The base
+// field's square root (p ≡ 3 mod 4) lives on fp.Element.Sqrt.
 
 // pMinus3Over4 and pMinus1Over2 are the exponents of the complex-method
 // Fp2 square root.
@@ -40,18 +32,20 @@ func (e *fp2) Sqrt(a *fp2) bool {
 	alpha.Mul(&a1, &x0)
 
 	var minusOne fp2
-	minusOne.c0.Sub(P, bigOne)
+	minusOne.c0.SetOne()
+	minusOne.c0.Neg(&minusOne.c0)
+
+	var oneEl fp.Element
+	oneEl.SetOne()
 
 	var x fp2
 	if alpha.Equal(&minusOne) {
 		// x = i · x0
 		x.c0.Neg(&x0.c1)
-		modP(&x.c0)
 		x.c1.Set(&x0.c0)
 	} else {
 		var b fp2
-		b.c0.Add(&alpha.c0, bigOne)
-		modP(&b.c0)
+		b.c0.Add(&alpha.c0, &oneEl)
 		b.c1.Set(&alpha.c1)
 		b.Exp(&b, pMinus1Over2)
 		x.Mul(&b, &x0)
@@ -75,11 +69,4 @@ func (a *fp2) lexLarger() bool {
 		return c > 0
 	}
 	return a.c0.Cmp(&neg.c0) > 0
-}
-
-// fpLexLarger is the base-field analogue: x > p − x.
-func fpLexLarger(x *big.Int) bool {
-	neg := new(big.Int).Sub(P, x)
-	neg.Mod(neg, P)
-	return x.Cmp(neg) > 0
 }
